@@ -1,0 +1,98 @@
+"""Ablation: operator fusion (Section 5's "we fuse MRG and SORT with the
+operator that follows them ... to eliminate unnecessary communication
+delays").
+
+Runs the Smart-Homes pipeline compiled with and without fusion on the
+simulated cluster.  Without fusion every SORT runs as its own bolt, so
+every tuple makes extra network hops and pays extra per-tuple framework
+overhead; the benchmark reports the throughput ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.smarthomes import smart_homes_dag
+from repro.bench import MarkerTriggerCost, fused_cost_model, measure_throughput
+from repro.compiler import compile_dag
+from repro.compiler.compile import CompilerOptions, source_from_events
+
+from conftest import SPOUTS, TASKS_PER_MACHINE
+
+MACHINES = 4
+
+
+def vertex_costs():
+    return {
+        "JFM": 30e-6,
+        "SORT1": MarkerTriggerCost(1.5e-6, 20e-6),
+        "LI": 1e-6,
+        "Map": 0.5e-6,
+        "SORT2": MarkerTriggerCost(1.5e-6, 20e-6),
+        "Avg": 1e-6,
+        "Predict": 5e-6,
+    }
+
+
+def test_ablation_fusion(smarthomes_workload, smarthomes_models, benchmark):
+    events = smarthomes_workload.events()
+
+    def build(fusion: bool):
+        dag = smart_homes_dag(
+            smarthomes_workload.make_database(),
+            smarthomes_models,
+            parallelism=MACHINES * TASKS_PER_MACHINE,
+        )
+        compiled = compile_dag(
+            dag,
+            {"hub": source_from_events(events, SPOUTS)},
+            CompilerOptions(fusion=fusion),
+        )
+        return compiled.topology
+
+    fused_topology = build(True)
+    unfused_topology = build(False)
+    fused = measure_throughput(
+        fused_topology, MACHINES, fused_cost_model(vertex_costs())
+    )
+    unfused = measure_throughput(
+        unfused_topology, MACHINES, fused_cost_model(vertex_costs())
+    )
+
+    speedup = fused.throughput() / unfused.throughput()
+    print()
+    print("Fusion ablation (Smart Homes, 4 machines):")
+    print(f"  fused   : {len(fused_topology.components)} components, "
+          f"{fused.throughput()/1e6:.3f} M tuples/s")
+    print(f"  unfused : {len(unfused_topology.components)} components, "
+          f"{unfused.throughput()/1e6:.3f} M tuples/s")
+    print(f"  fusion speedup: {speedup:.2f}x")
+
+    assert len(unfused_topology.components) > len(fused_topology.components)
+    assert speedup > 1.0, "fusion must not slow the pipeline down"
+
+    # Section 5 says fusion "eliminates unnecessary communication
+    # delays": with receiver-side communication CPU (per remote hop),
+    # the fusion advantage must widen — unfused stages hop machines.
+    comm_fused_model = fused_cost_model(vertex_costs())
+    comm_fused_model.remote_cpu = 5e-6
+    comm_unfused_model = fused_cost_model(vertex_costs())
+    comm_unfused_model.remote_cpu = 5e-6
+    comm_fused = measure_throughput(build(True), MACHINES, comm_fused_model)
+    comm_unfused = measure_throughput(build(False), MACHINES, comm_unfused_model)
+    comm_speedup = comm_fused.throughput() / comm_unfused.throughput()
+    print(f"  with 5us/remote-hop communication CPU: fusion speedup "
+          f"{comm_speedup:.2f}x")
+    assert comm_speedup >= speedup * 0.95, (
+        "communication cost must not erode the fusion advantage"
+    )
+
+    benchmark.extra_info["fusion_speedup"] = round(speedup, 3)
+    benchmark.extra_info["fusion_speedup_with_comm"] = round(comm_speedup, 3)
+    benchmark.pedantic(
+        lambda: measure_throughput(
+            build(True), MACHINES, fused_cost_model(vertex_costs())
+        ),
+        rounds=1,
+        iterations=1,
+    )

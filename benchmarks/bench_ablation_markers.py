@@ -1,0 +1,67 @@
+"""Ablation: synchronization-marker period.
+
+Section 4 notes the marker period is configurable (1 msec, 1 sec, ...)
+and trades output granularity against overhead: markers are broadcast to
+every task and every aligned marker triggers the blocking work.  This
+ablation sweeps the Smart-Homes marker period and reports throughput —
+short periods pay measurable marker overhead, long periods amortize it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.smarthomes import SmartHomesWorkload, smart_homes_dag
+from repro.bench import MarkerTriggerCost, fused_cost_model, measure_throughput
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events
+
+from conftest import SPOUTS, TASKS_PER_MACHINE
+
+MACHINES = 4
+PERIODS = (2, 5, 10, 20)
+
+
+def vertex_costs():
+    return {
+        "JFM": 30e-6,
+        "SORT1": MarkerTriggerCost(1.5e-6, 20e-6),
+        "LI": 1e-6,
+        "Map": 0.5e-6,
+        "SORT2": MarkerTriggerCost(1.5e-6, 20e-6),
+        "Avg": 1e-6,
+        "Predict": 5e-6,
+    }
+
+
+def test_ablation_marker_period(smarthomes_models, benchmark):
+    results = {}
+    for period in PERIODS:
+        workload = SmartHomesWorkload(
+            n_buildings=8, units_per_building=4, plugs_per_unit=3,
+            duration=120, marker_period=period, seed=11,
+        )
+        events = workload.events()
+        dag = smart_homes_dag(
+            workload.make_database(), smarthomes_models,
+            parallelism=MACHINES * TASKS_PER_MACHINE,
+        )
+        compiled = compile_dag(dag, {"hub": source_from_events(events, SPOUTS)})
+        report = measure_throughput(
+            compiled.topology, MACHINES, fused_cost_model(vertex_costs())
+        )
+        results[period] = report.throughput()
+
+    print()
+    print("Marker-period ablation (Smart Homes, 4 machines):")
+    print("period(s)  throughput(Mtuples/s)")
+    for period, throughput in results.items():
+        print(f"{period:>9}  {throughput/1e6:>21.3f}")
+
+    # Longer periods must not be slower than the shortest one.
+    assert results[20] >= results[2], "marker overhead must shrink with period"
+
+    benchmark.extra_info["throughput_by_period"] = {
+        str(k): round(v / 1e6, 4) for k, v in results.items()
+    }
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)

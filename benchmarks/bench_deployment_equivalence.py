@@ -1,0 +1,72 @@
+"""Corollary 4.4 at scale: every deployment of a typed DAG computes the
+same traces (Figure 1's rewritten deployments of the Example 4.1
+pipeline).
+
+Evaluates the Example 4.1-style pipeline sequentially (the denotation),
+then through Theorem 4.3 deployments at several parallelism degrees
+(both logical-DAG rewrites and compiled topologies across interleaving
+seeds) and asserts all outputs coincide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.iot import SensorWorkload, iot_typed_dag
+from repro.compiler import compile_dag
+from repro.compiler.compile import CompilerOptions, source_from_events
+from repro.dag import deploy, evaluate_dag
+from repro.storm import LocalRunner
+from repro.storm.local import events_to_trace
+
+PARALLELISMS = (1, 2, 3, 4)
+SEEDS = (0, 1, 2)
+
+
+def test_deployment_equivalence(benchmark):
+    workload = SensorWorkload(n_sensors=5, duration=80, marker_period=10, seed=33)
+    events = workload.events()
+
+    denotation = evaluate_dag(
+        iot_typed_dag(parallelism=1), {"SENSOR": events}
+    ).sink_trace("SINK", False)
+
+    checked = 0
+    for parallelism in PARALLELISMS:
+        dag = iot_typed_dag(parallelism=parallelism)
+
+        # (1) Logical Theorem 4.3 rewrite evaluated denotationally.
+        deployed = deploy(dag)
+        got = evaluate_dag(deployed, {"SENSOR": events}).sink_trace("SINK", False)
+        assert got == denotation, f"logical deployment x{parallelism} differs"
+        checked += 1
+
+        # (2) Compiled topology executed under several interleavings,
+        #     with and without fusion.
+        for fusion in (True, False):
+            compiled = compile_dag(
+                dag,
+                {"SENSOR": source_from_events(events, 1)},
+                CompilerOptions(fusion=fusion),
+            )
+            for seed in SEEDS:
+                LocalRunner(compiled.topology, seed=seed).run()
+                got = events_to_trace(
+                    compiled.sinks["SINK"].aligned_events, False
+                )
+                assert got == denotation, (
+                    f"compiled x{parallelism} fusion={fusion} seed={seed} differs"
+                )
+                checked += 1
+
+    print(f"\nCorollary 4.4: {checked} deployments, all equal to the denotation")
+    benchmark.extra_info["deployments_checked"] = checked
+
+    def kernel():
+        compiled = compile_dag(
+            iot_typed_dag(parallelism=4),
+            {"SENSOR": source_from_events(events, 1)},
+        )
+        return LocalRunner(compiled.topology, seed=0).run()
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+"""Figure 6: Smart-Homes energy prediction throughput, 1–8 machines.
+
+The Figure 5 pipeline is compiled (fusing into the paper's deployment
+``JFM | MRG;SORT;LI;Map | MRG;SORT;Avg;Predict | UNQ``) and swept over
+machine counts with per-stage parallelism scaled to the cluster.  The
+paper reports near-linear scaling to ~0.3 M tuples/s at 8 machines; the
+shape assertion checks the scaling factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.smarthomes import smart_homes_dag
+from repro.bench import (
+    MarkerTriggerCost,
+    format_scaling_table,
+    fused_cost_model,
+    measure_throughput,
+    sweep_machines,
+)
+from repro.bench.reporting import scaling_factor
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events
+
+from conftest import MACHINES, SPOUTS, TASKS_PER_MACHINE
+
+
+def vertex_costs():
+    """Fresh per-vertex cost table (see pipeline.VERTEX_COSTS for the
+    static entries; prediction fires per aligned marker batch)."""
+    return {
+        "JFM": 30e-6,
+        "SORT1": MarkerTriggerCost(1.5e-6, 20e-6),
+        "LI": 1e-6,
+        "Map": 0.5e-6,
+        "SORT2": MarkerTriggerCost(1.5e-6, 20e-6),
+        "Avg": 1e-6,
+        "Predict": 5e-6,
+    }
+
+
+def test_fig6_smarthomes(smarthomes_workload, smarthomes_models, benchmark):
+    events = smarthomes_workload.events()
+
+    def build(n):
+        dag = smart_homes_dag(
+            smarthomes_workload.make_database(),
+            smarthomes_models,
+            parallelism=n * TASKS_PER_MACHINE,
+        )
+        compiled = compile_dag(dag, {"hub": source_from_events(events, SPOUTS)})
+        return compiled.topology
+
+    points = sweep_machines(
+        build,
+        lambda n: fused_cost_model(vertex_costs(), generated=True),
+        machines=MACHINES,
+    )
+    print()
+    print(
+        format_scaling_table(
+            "Figure 6 / Smart Homes energy prediction: throughput vs machines",
+            points,
+        )
+    )
+
+    assert scaling_factor(points) > 2.5, "pipeline must scale with machines"
+    # Monotone non-decreasing up to small jitter.
+    for a, b in zip(points, points[1:]):
+        assert b.throughput > a.throughput * 0.9
+
+    benchmark.extra_info["mtps"] = [round(p.throughput / 1e6, 4) for p in points]
+
+    def kernel():
+        return measure_throughput(build(8), 8, fused_cost_model(vertex_costs()))
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Latency study: end-to-end marker latency of the compiled pipelines.
+
+Not a paper figure (the paper reports throughput only), but the natural
+companion measurement the simulator's clock makes available: how long
+after a synchronization marker leaves the sources does it complete
+alignment at the sink — i.e., how stale are the emitted window results?
+
+Two effects are measured on Query IV:
+
+- more machines drain queues faster, so marker latency falls as the
+  cluster grows (until the pipeline is unsaturated);
+- the marker period bounds result staleness from above: latency is
+  dominated by queueing behind the block's data.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.apps.yahoo.queries import DB_LOOKUP_COST, WINDOW_UPDATE_COST, query4
+from repro.bench import fused_cost_model, measure_throughput
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events
+
+from conftest import SPOUTS, TASKS_PER_MACHINE
+
+MACHINES = (1, 2, 4, 8)
+
+
+def test_marker_latency_vs_machines(yahoo_workload, yahoo_events, benchmark):
+    results = {}
+    for n in MACHINES:
+        dag = query4(
+            yahoo_workload.make_database(), parallelism=n * TASKS_PER_MACHINE
+        )
+        compiled = compile_dag(
+            dag, {"events": source_from_events(yahoo_events, SPOUTS)}
+        )
+        report = measure_throughput(
+            compiled.topology, n,
+            fused_cost_model(
+                {"FilterMap": DB_LOOKUP_COST, "Count10s": WINDOW_UPDATE_COST}
+            ),
+        )
+        latencies = report.marker_latencies("SINK")
+        results[n] = statistics.mean(latencies.values())
+
+    print()
+    print("Marker end-to-end latency (Query IV):")
+    print("machines  mean latency (ms)")
+    for n, latency in results.items():
+        print(f"{n:>8}  {latency * 1000:>17.2f}")
+
+    # More machines must not make results staler.
+    assert results[8] <= results[1]
+    assert all(latency > 0 for latency in results.values())
+
+    benchmark.extra_info["latency_ms_by_machines"] = {
+        str(n): round(latency * 1000, 3) for n, latency in results.items()
+    }
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)

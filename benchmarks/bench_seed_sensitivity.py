@@ -1,0 +1,58 @@
+"""Methodology check: throughput stability across interleaving seeds.
+
+The figure benchmarks report one seeded run per configuration; this
+bench quantifies how much that number moves with the seed (shuffle
+randomness + network jitter).  A coefficient of variation of a few
+percent justifies single-seed sweeps; large variance would mean the
+figures need seed averaging.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.apps.yahoo.queries import DB_LOOKUP_COST, WINDOW_UPDATE_COST, query4
+from repro.bench import fused_cost_model, measure_throughput
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events
+
+from conftest import SPOUTS, TASKS_PER_MACHINE
+
+MACHINES = 4
+SEEDS = range(8)
+
+
+def test_throughput_seed_sensitivity(yahoo_workload, yahoo_events, benchmark):
+    dag = query4(
+        yahoo_workload.make_database(), parallelism=MACHINES * TASKS_PER_MACHINE
+    )
+    compiled = compile_dag(
+        dag, {"events": source_from_events(yahoo_events, SPOUTS)}
+    )
+    throughputs = []
+    for seed in SEEDS:
+        report = measure_throughput(
+            compiled.topology, MACHINES,
+            fused_cost_model(
+                {"FilterMap": DB_LOOKUP_COST, "Count10s": WINDOW_UPDATE_COST}
+            ),
+            seed=seed,
+        )
+        throughputs.append(report.throughput())
+
+    mean = statistics.mean(throughputs)
+    stdev = statistics.stdev(throughputs)
+    cv = stdev / mean
+    print()
+    print(f"Seed sensitivity (Query IV, {MACHINES} machines, {len(throughputs)} seeds):")
+    print(f"  mean {mean/1e6:.3f} M/s, stdev {stdev/1e6:.4f} M/s, CV {100*cv:.2f}%")
+
+    assert cv < 0.05, (
+        f"seed-to-seed variation {100*cv:.1f}% is too large for "
+        "single-seed figure sweeps"
+    )
+
+    benchmark.extra_info["cv_percent"] = round(100 * cv, 3)
+    benchmark.pedantic(lambda: throughputs, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Shared configuration for the experiment benchmarks.
+
+Each benchmark regenerates one table/figure of the paper's evaluation
+(see DESIGN.md's experiment index).  The benchmarks run the *simulated*
+cluster: throughput numbers are simulated tuples/second, real time is
+what pytest-benchmark measures (the cost of regenerating the figure).
+
+Workload sizes here are laptop-scale; the shapes (scaling curves,
+generated/hand-crafted ratios, soundness results) are what is compared
+against the paper, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.smarthomes import SmartHomesWorkload, train_predictor
+from repro.apps.yahoo.events import YahooWorkload
+
+#: Machine counts of the paper's sweeps (Figures 4 and 6).
+MACHINES = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: Tasks per stage per machine (each VM has 2 CPUs).
+TASKS_PER_MACHINE = 2
+
+#: Number of source (spout) partitions feeding every topology.
+SPOUTS = 2
+
+
+@pytest.fixture(scope="session")
+def yahoo_workload() -> YahooWorkload:
+    return YahooWorkload(
+        seconds=5,
+        events_per_second=800,
+        n_campaigns=20,
+        ads_per_campaign=10,
+        n_users=200,
+        n_locations=8,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def yahoo_events(yahoo_workload):
+    return yahoo_workload.events()
+
+
+@pytest.fixture(scope="session")
+def smarthomes_workload() -> SmartHomesWorkload:
+    return SmartHomesWorkload(
+        n_buildings=12,
+        units_per_building=5,
+        plugs_per_unit=4,
+        duration=120,
+        marker_period=10,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def smarthomes_models():
+    return train_predictor(horizon=120, train_seconds=800, past=60, seed=5)

@@ -1,0 +1,112 @@
+"""The formal layer: data traces, pomsets, and consistency (Section 3).
+
+Recreates the paper's running examples directly against the trace
+algebra: the Example 3.1/3.2 trace type and its visualization, trace
+equivalence and prefix order, the streaming-max transduction of
+Example 3.9, and Definition 3.5 consistency checking — including
+catching an inconsistent operator red-handed.
+
+Run:  python examples/trace_algebra.py
+"""
+
+from repro.traces import (
+    DataTrace,
+    DataTraceType,
+    DependenceRelation,
+    Item,
+    MARKER,
+    Pomset,
+    marker,
+)
+from repro.traces.tags import DataType, Tag, nat_validator
+from repro.traces.trace_type import sequence_type
+from repro.transductions import ConsistencyChecker
+from repro.transductions.examples import StreamingMax
+from repro.transductions.string_transduction import StringTransduction
+
+M = Tag("M")
+
+
+def example_type() -> DataTraceType:
+    """Example 3.1: measurements M (self-independent) + markers #."""
+    data_type = DataType({M: nat_validator, MARKER: nat_validator})
+    dependence = DependenceRelation.with_marker(data_tags_self_dependent=False)
+    return DataTraceType(data_type, dependence, name="Ex31")
+
+
+def main():
+    X = example_type()
+
+    # Example 3.2: the trace of (M,5)(M,7) # (M,9)(M,8)(M,9) # (M,6).
+    sequence = [
+        Item(M, 5), Item(M, 7), marker(1),
+        Item(M, 9), Item(M, 8), Item(M, 9), marker(2),
+        Item(M, 6),
+    ]
+    pomset = Pomset(X, sequence)
+    print("Example 3.2 trace, as a partial order (Foata steps):")
+    print(" ", pomset.render())
+    print(f"  width (max concurrency): {pomset.width()}")
+    print(f"  distinct linearizations: {pomset.count_linearizations()}")
+
+    # Equivalence: commuting measurements within a block.
+    t1 = DataTrace(X, [Item(M, 5), Item(M, 5), Item(M, 8), marker(1)])
+    t2 = DataTrace(X, [Item(M, 8), Item(M, 5), Item(M, 5), marker(1)])
+    t3 = DataTrace(X, [Item(M, 8), marker(1), Item(M, 5), Item(M, 5)])
+    print("\nTrace equivalence (Example 3.1):")
+    print(f"  (M,5)(M,5)(M,8)# == (M,8)(M,5)(M,5)#  ->  {t1 == t2}")
+    print(f"  (M,5)(M,5)(M,8)# == (M,8)#(M,5)(M,5)  ->  {t1 == t3}")
+
+    # Prefix order and residuals.
+    prefix = DataTrace(X, [Item(M, 8)])
+    print(f"  [(M,8)] <= [(M,5)(M,5)(M,8)#]          ->  "
+          f"{prefix.is_prefix_of(t1)}")
+    print(f"  residual: {prefix.residual_in(t1)}")
+
+    # Example 3.9: streaming max, and its consistency.
+    OUT = sequence_type(int, tag_name="out")
+
+    class ItemStreamingMax(StringTransduction):
+        def initial(self):
+            return {"max": None}
+
+        def step(self, state, item):
+            if item.is_marker():
+                return () if state["max"] is None else (
+                    Item(Tag("out"), state["max"]),
+                )
+            if state["max"] is None or item.value > state["max"]:
+                state["max"] = item.value
+            return ()
+
+    class LeakFirst(StringTransduction):
+        """Emits the first measurement it happens to see — depends on the
+        arbitrary block order, hence inconsistent."""
+
+        def initial(self):
+            return {"emitted": False}
+
+        def step(self, state, item):
+            if item.is_marker() or state["emitted"]:
+                return ()
+            state["emitted"] = True
+            return (Item(Tag("out"), item.value),)
+
+    checker = ConsistencyChecker(X, OUT, seed=1)
+    inputs = [[Item(M, 5), Item(M, 3), Item(M, 8), marker(1), Item(M, 9), marker(2)]]
+    print("\nDefinition 3.5 consistency checking:")
+    verdict = checker.check(ItemStreamingMax(), inputs, shuffles=20)
+    print(f"  streaming max (Example 3.9): "
+          f"{'consistent on all sampled shuffles' if verdict is None else 'VIOLATION'}")
+    violation = checker.check(LeakFirst(), inputs, shuffles=20)
+    print(f"  leak-first-item operator   : "
+          f"{'no violation found' if violation is None else 'violation found'}")
+    if violation is not None:
+        print(f"    input A  = {violation.input_a}")
+        print(f"    input B  = {violation.input_b}")
+        print(f"    output A = {violation.output_a}")
+        print(f"    output B = {violation.output_b}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The modern metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments without the ``wheel``
+package (PEP 660 editable installs require it; the legacy code path
+does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro — a reproduction of *Data-Trace Types for Distributed Stream
+Processing Systems* (Mamouras, Stanford, Alur, Ives, Tannen; PLDI 2019).
+
+Layers, bottom-up:
+
+- :mod:`repro.traces` — the formal model: data-trace types, traces as
+  equivalence classes, pomsets (Section 3.1).
+- :mod:`repro.transductions` — data-string/data-trace transductions,
+  consistency, composition (Sections 3.2–3.3).
+- :mod:`repro.operators` — the Table 1 operator templates plus the
+  structural operators MRG / RR / HASH / UNQ / SORT (Section 4).
+- :mod:`repro.dag` — typed transduction DAGs: type checking, denotational
+  evaluation, semantics-preserving parallelization (Theorems 4.2–4.3,
+  Corollary 4.4).
+- :mod:`repro.storm` — the Storm-like execution substrate: topologies,
+  groupings, and a discrete-event cluster simulator (Section 5).
+- :mod:`repro.compiler` — DAG-to-topology compilation with marker glue
+  and fusion (Section 5).
+- :mod:`repro.db`, :mod:`repro.ml` — the database and machine-learning
+  substrates the evaluation workloads need.
+- :mod:`repro.apps` — the Section 6 applications (Yahoo benchmark
+  queries I–VI, DEBS'14 Smart Homes, the Section 2 IoT pipeline).
+- :mod:`repro.bench` — the experiment harness regenerating Figures 4/6
+  and the motivation results.
+
+Quickstart: see ``examples/quickstart.py`` — build a DAG from the
+templates, compile it, and run it on the simulated cluster.
+"""
+
+from repro.errors import (
+    ReproError,
+    TraceTypeError,
+    ConsistencyError,
+    DagError,
+    CompilationError,
+    TopologyError,
+    SimulationError,
+)
+from repro.traces import (
+    DataTraceType,
+    DataTrace,
+    unordered_type,
+    ordered_type,
+    Item,
+    marker,
+)
+from repro.operators import (
+    OpStateless,
+    OpKeyedOrdered,
+    OpKeyedUnordered,
+    Merge,
+    RoundRobinSplit,
+    HashSplit,
+    SortOp,
+)
+from repro.operators.base import KV, Marker
+from repro.dag import TransductionDAG, evaluate_dag, deploy, typecheck_dag
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events, CompilerOptions
+from repro.storm import Cluster, Simulator, LocalRunner
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ReproError",
+    "TraceTypeError",
+    "ConsistencyError",
+    "DagError",
+    "CompilationError",
+    "TopologyError",
+    "SimulationError",
+    "DataTraceType",
+    "DataTrace",
+    "unordered_type",
+    "ordered_type",
+    "Item",
+    "marker",
+    "OpStateless",
+    "OpKeyedOrdered",
+    "OpKeyedUnordered",
+    "Merge",
+    "RoundRobinSplit",
+    "HashSplit",
+    "SortOp",
+    "KV",
+    "Marker",
+    "TransductionDAG",
+    "evaluate_dag",
+    "deploy",
+    "typecheck_dag",
+    "compile_dag",
+    "source_from_events",
+    "CompilerOptions",
+    "Cluster",
+    "Simulator",
+    "LocalRunner",
+    "__version__",
+]

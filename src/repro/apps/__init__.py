@@ -1,0 +1,10 @@
+"""Evaluation applications (Section 6).
+
+- :mod:`repro.apps.yahoo` — the extended Yahoo Streaming Benchmark:
+  Queries I–VI, each as a transduction DAG and as a hand-crafted
+  topology (Figure 3 / Figure 4).
+- :mod:`repro.apps.smarthomes` — the DEBS 2014 Smart-Homes power
+  prediction case study (Figure 5 / Figure 6).
+- :mod:`repro.apps.iot` — the Example 4.1 sensor-interpolation pipeline
+  used by the Section 2 motivation experiment.
+"""

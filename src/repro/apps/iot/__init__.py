@@ -1,0 +1,28 @@
+"""The Section 2 / Example 4.1 sensor pipeline.
+
+A temperature-sensor stream with missing data points is pre-processed by
+``Map`` (deserialization) -> ``LI`` (linear interpolation) -> ``Avg``
+(running average every marker).  The module provides:
+
+- the typed transduction DAG (with ``SORT`` in front of ``LI``, the
+  Sort-LI fix) which any deployment executes deterministically;
+- the *naive* hand-parallelized topology of Section 2 — ``Map``
+  replicated with shuffle grouping, order-sensitive ``LI`` consuming the
+  arbitrarily interleaved merge — whose outputs depend on the
+  interleaving seed (the motivation experiment).
+"""
+
+from repro.apps.iot.sensors import SensorReading, SensorWorkload
+from repro.apps.iot.pipeline import (
+    iot_typed_dag,
+    build_naive_topology,
+    iot_vertex_costs,
+)
+
+__all__ = [
+    "SensorReading",
+    "SensorWorkload",
+    "iot_typed_dag",
+    "build_naive_topology",
+    "iot_vertex_costs",
+]

@@ -1,0 +1,221 @@
+"""The Section 2 pipeline, typed and naive.
+
+``SENSOR -> Map -> LI -> Avg -> SINK``
+
+*Typed version* (:func:`iot_typed_dag`): ``Map`` is an ``OpStateless``;
+the unordered edge into the order-sensitive interpolation is repaired by
+``SORT`` (the Sort-LI fix), so ``Map`` parallelizes soundly and every
+deployment computes the same traces.
+
+*Naive version* (:func:`iot_naive_topology`): the Storm idiom of
+Section 2 — ``Map`` replicated with shuffle grouping, ``LI`` consuming
+the merged streams in arrival order without sorting.  With one ``Map``
+instance the output is correct; with two or more, the interleaving of
+the instances' outputs is arbitrary and the interpolation results become
+seed-dependent (and wrong), which is the paper's motivating observation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.apps.iot.sensors import SensorReading, deserialize
+from repro.dag.graph import TransductionDAG
+from repro.operators.base import Event, KV, Marker
+from repro.operators.keyed_ordered import OpKeyedOrdered
+from repro.operators.library import RunningAggregate, StatelessFn
+from repro.operators.sort import SortOp
+from repro.storm.groupings import (
+    FieldsGrouping,
+    GlobalGrouping,
+    ShuffleGrouping,
+)
+from repro.storm.topology import (
+    Bolt,
+    CaptureBolt,
+    IteratorSpout,
+    OutputCollector,
+    Topology,
+    TopologyBuilder,
+)
+from repro.storm.tuples import StormTuple
+from repro.traces.trace_type import ordered_type, unordered_type
+
+U_RAW = unordered_type("ID", "Str")
+U_MEAS = unordered_type("ID", "V")
+O_MEAS = ordered_type("ID", "V")
+
+#: Per-vertex CPU costs: deserialization dominates (the Section 2
+#: bottleneck that motivates replicating Map).
+IOT_VERTEX_COSTS: Dict[str, float] = {
+    "Map": 20e-6,
+    "SORT": 1e-6,
+    "LI": 1e-6,
+    "Avg": 0.5e-6,
+}
+
+
+def iot_vertex_costs() -> Dict[str, float]:
+    return dict(IOT_VERTEX_COSTS)
+
+
+def map_stage() -> StatelessFn:
+    """Deserialize; retain (sensor id, (value, timestamp))."""
+    return StatelessFn(
+        lambda key, message: [
+            (lambda r: (r.sensor_id, (r.value, r.timestamp)))(deserialize(message))
+        ],
+        name="Map",
+    )
+
+
+class SensorInterpolation(OpKeyedOrdered):
+    """Per-sensor linear interpolation over (value, ts) pairs."""
+
+    name = "LI"
+
+    def init(self):
+        return None
+
+    def on_item(self, state, key, value, emit):
+        v, ts = value
+        if state is None:
+            emit(key, (v, ts))
+            return (v, ts)
+        prev_v, prev_ts = state
+        dt = ts - prev_ts
+        if dt <= 0:
+            return state
+        for i in range(1, dt + 1):
+            emit(key, (round(prev_v + i * (v - prev_v) / dt, 6), prev_ts + i))
+        return (v, ts)
+
+
+def avg_stage() -> RunningAggregate:
+    """Average of all measurements so far, emitted every marker."""
+    return RunningAggregate(
+        inject=lambda k, v: (v[0], 1),
+        identity_elem=(0.0, 0),
+        combine_fn=lambda x, y: (x[0] + y[0], x[1] + y[1]),
+        finish=lambda key, acc, ts: round(acc[0] / acc[1], 6) if acc[1] else None,
+        name="Avg",
+    )
+
+
+def iot_typed_dag(parallelism: int = 2) -> TransductionDAG:
+    """The typed pipeline: Map (parallel) -> SORT -> LI -> Avg."""
+    dag = TransductionDAG("iot-typed")
+    src = dag.add_source("SENSOR", output_type=U_RAW)
+    map_v = dag.add_op(
+        map_stage(), parallelism=parallelism, upstream=[src],
+        edge_types=[U_RAW], name="Map",
+    )
+    sort_v = dag.add_op(
+        SortOp(sort_key=lambda v: v[1], name="SORT"),
+        parallelism=parallelism, upstream=[map_v], edge_types=[U_MEAS],
+    )
+    li = dag.add_op(
+        SensorInterpolation(), parallelism=parallelism, upstream=[sort_v],
+        edge_types=[O_MEAS], name="LI",
+    )
+    avg = dag.add_op(
+        avg_stage(), parallelism=1, upstream=[li], edge_types=[O_MEAS],
+        name="Avg",
+    )
+    dag.add_sink("SINK", upstream=avg, input_type=U_MEAS)
+    return dag
+
+
+# ----------------------------------------------------------------------
+# The naive hand-parallelized topology.
+# ----------------------------------------------------------------------
+
+
+class NaiveMapBolt(Bolt):
+    """Deserialize and forward; markers forwarded as received (no
+    alignment — the naive code has no notion of marker discipline)."""
+
+    def execute(self, state, tup: StormTuple, collector: OutputCollector) -> None:
+        event = tup.event
+        if isinstance(event, Marker):
+            collector.emit(event)
+            return
+        reading = deserialize(event.value)
+        collector.emit(KV(reading.sensor_id, (reading.value, reading.timestamp)))
+
+
+class NaiveInterpolationBolt(Bolt):
+    """Order-dependent interpolation applied in *arrival* order.
+
+    Relies on receiving each sensor's measurements in timestamp order —
+    the precondition the naive Map parallelization silently breaks.
+    Out-of-order samples are simply dropped by the ``dt <= 0`` guard, so
+    disorder turns into missing or wrong interpolation segments.
+    """
+
+    def prepare(self, task_index: int, n_tasks: int):
+        return {}
+
+    def execute(self, state, tup: StormTuple, collector: OutputCollector) -> None:
+        event = tup.event
+        if isinstance(event, Marker):
+            collector.emit(event)
+            return
+        v, ts = event.value
+        previous = state.get(event.key)
+        if previous is None:
+            state[event.key] = (v, ts)
+            collector.emit(KV(event.key, (v, ts)))
+            return
+        prev_v, prev_ts = previous
+        dt = ts - prev_ts
+        if dt <= 0:
+            return
+        for i in range(1, dt + 1):
+            collector.emit(
+                KV(event.key, (round(prev_v + i * (v - prev_v) / dt, 6), prev_ts + i))
+            )
+        state[event.key] = (v, ts)
+
+
+class NaiveAvgBolt(Bolt):
+    """Running average emitted at every received marker (markers arrive
+    multiplied and unaligned — the naive code just reacts to each)."""
+
+    def prepare(self, task_index: int, n_tasks: int):
+        return {"sums": {}, "counts": {}}
+
+    def execute(self, state, tup: StormTuple, collector: OutputCollector) -> None:
+        event = tup.event
+        if isinstance(event, Marker):
+            for key in state["sums"]:
+                collector.emit(
+                    KV(key, round(state["sums"][key] / state["counts"][key], 6))
+                )
+            collector.emit(event)
+            return
+        v, _ts = event.value
+        state["sums"][event.key] = state["sums"].get(event.key, 0.0) + v
+        state["counts"][event.key] = state["counts"].get(event.key, 0) + 1
+
+
+def build_naive_topology(
+    events: List[Event], map_parallelism: int = 2
+) -> Tuple[Topology, CaptureBolt]:
+    """Construct the naive topology over a concrete event stream."""
+
+    def make_iterator(task_index: int, n_tasks: int):
+        return iter(events) if task_index == 0 else iter(())
+
+    builder = TopologyBuilder("iot-naive")
+    builder.set_spout("SENSOR", IteratorSpout(make_iterator), 1)
+    builder.set_bolt("Map", NaiveMapBolt(), map_parallelism).grouping(
+        "SENSOR", ShuffleGrouping()
+    )
+    builder.set_bolt("LI", NaiveInterpolationBolt(), 1).grouping(
+        "Map", GlobalGrouping()
+    )
+    builder.set_bolt("Avg", NaiveAvgBolt(), 1).grouping("LI", GlobalGrouping())
+    sink = CaptureBolt()
+    builder.set_bolt("SINK", sink, 1).grouping("Avg", GlobalGrouping())
+    return builder.build(), sink

@@ -1,0 +1,83 @@
+"""Sensor workload for the Section 2 motivation pipeline.
+
+A home IoT hub forwards temperature measurements from several sensors.
+Each sensor samples roughly once per second but drops measurements at
+random (missing data points, to be filled by linear interpolation).  The
+hub emits a synchronization marker every ``marker_period`` seconds with
+the Example 4.1 watermark guarantee.
+
+Measurements arrive as serialized strings (``"id|value|ts|meta..."``)
+so that the ``Map`` deserialization stage has real, parallelizable work —
+the stage whose replication motivates the whole Section 2 discussion.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple
+
+from repro.operators.base import Event, KV, Marker
+
+
+class SensorReading(NamedTuple):
+    """A deserialized measurement."""
+
+    sensor_id: int
+    value: float
+    timestamp: int
+
+
+def serialize(reading: SensorReading) -> str:
+    """The wire format the hub forwards (with junk metadata fields)."""
+    return (
+        f"{reading.sensor_id}|{reading.value}|{reading.timestamp}"
+        f"|fw=2.1|loc=window|unit=C"
+    )
+
+
+def deserialize(message: str) -> SensorReading:
+    """Parse the wire format, discarding the metadata fields."""
+    sensor_id, value, timestamp = message.split("|")[:3]
+    return SensorReading(int(sensor_id), float(value), int(timestamp))
+
+
+@dataclass
+class SensorWorkload:
+    """Deterministic sensor stream with gaps."""
+
+    n_sensors: int = 3
+    duration: int = 60           # seconds
+    marker_period: int = 10
+    drop_probability: float = 0.3
+    seed: int = 21
+
+    def readings(self) -> List[SensorReading]:
+        rng = random.Random(self.seed)
+        result: List[SensorReading] = []
+        for sensor in range(self.n_sensors):
+            base = 20.0 + 2.0 * sensor
+            for t in range(self.duration):
+                if rng.random() < self.drop_probability:
+                    continue  # missing data point
+                value = round(base + 3.0 * rng.random(), 2)
+                result.append(SensorReading(sensor, value, t))
+        return result
+
+    def events(self) -> List[Event]:
+        """The hub stream: serialized readings + markers, with readings
+        scrambled within each marker block (watermark guarantee only)."""
+        rng = random.Random(self.seed ^ 0xBEEF)
+        blocks: Dict[int, List[SensorReading]] = {}
+        for reading in self.readings():
+            blocks.setdefault(reading.timestamp // self.marker_period, []).append(
+                reading
+            )
+        stream: List[Event] = []
+        for block in range(self.duration // self.marker_period):
+            batch = blocks.get(block, [])
+            rng.shuffle(batch)
+            for reading in batch:
+                stream.append(KV(reading.sensor_id, serialize(reading)))
+            stream.append(Marker(self.marker_period * (block + 1)))
+        return stream

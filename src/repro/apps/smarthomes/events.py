@@ -1,0 +1,173 @@
+"""Smart-plug workload generation (the DEBS 2014 dataset substitution).
+
+Every stream event is a load measurement
+``(timestamp, value, plugId, unitId, buildingId)``.  Per Section 6:
+
+- a plug generates roughly one measurement per two seconds, but the
+  samples are *not* uniformly spaced — there are gaps as well as multiple
+  measurements at the same timestamp;
+- the hub emits synchronization markers every ``marker_period`` seconds
+  with the watermark guarantee of Example 4.1: all measurements with
+  timestamps below ``marker_period * i`` are emitted before the i-th
+  marker (within a block, emission order is scrambled).
+
+Each plug is connected to a device of some type (A/C, lights, fridge,
+heater, tv); the device's load follows a type-specific daily profile plus
+noise, which is what gives the regression tree something to learn.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.db import Derby
+from repro.operators.base import Event, KV, Marker
+
+DEVICE_TYPES = (
+    "ac",
+    "lights",
+    "fridge",
+    "heater",
+    "tv",
+    "washer",
+    "dryer",
+    "dishwasher",
+    "oven",
+    "computer",
+    "waterheater",
+    "freezer",
+)
+
+#: Per-type (base watts, daily swing watts, noise watts).
+_PROFILE = {
+    "ac": (900.0, 600.0, 40.0),
+    "lights": (120.0, 80.0, 10.0),
+    "fridge": (150.0, 20.0, 8.0),
+    "heater": (1200.0, 800.0, 60.0),
+    "tv": (200.0, 150.0, 15.0),
+    "washer": (500.0, 350.0, 30.0),
+    "dryer": (1800.0, 900.0, 80.0),
+    "dishwasher": (1100.0, 500.0, 50.0),
+    "oven": (2000.0, 1200.0, 90.0),
+    "computer": (250.0, 120.0, 12.0),
+    "waterheater": (1500.0, 700.0, 70.0),
+    "freezer": (180.0, 25.0, 9.0),
+}
+
+
+class PlugReading(NamedTuple):
+    """One smart-plug load measurement."""
+
+    timestamp: int      # seconds
+    value: float        # load in Watts
+    plug_id: int
+    unit_id: int
+    building_id: int
+
+    def plug_key(self) -> Tuple[int, int, int]:
+        """The globally unique plug identity (building, unit, plug)."""
+        return (self.building_id, self.unit_id, self.plug_id)
+
+
+def device_load(device_type: str, t: int, rng: random.Random) -> float:
+    """The instantaneous load of a device at second ``t`` (>= 0)."""
+    base, swing, noise = _PROFILE[device_type]
+    phase = 2.0 * math.pi * (t % 86400) / 86400.0
+    return max(0.0, base + swing * math.sin(phase) + rng.gauss(0.0, noise))
+
+
+@dataclass
+class SmartHomesWorkload:
+    """Deterministic plug-stream generator."""
+
+    n_buildings: int = 4
+    units_per_building: int = 5
+    plugs_per_unit: int = 3
+    duration: int = 120          # seconds of stream
+    marker_period: int = 10      # seconds between markers
+    mean_sample_gap: float = 2.0 # average seconds between samples
+    gap_probability: float = 0.15        # chance of a long gap after a sample
+    duplicate_probability: float = 0.08  # chance of a duplicate timestamp
+    seed: int = 11
+
+    def plug_keys(self) -> List[Tuple[int, int, int]]:
+        return [
+            (b, u, p)
+            for b in range(self.n_buildings)
+            for u in range(self.units_per_building)
+            for p in range(self.plugs_per_unit)
+        ]
+
+    def device_of(self, plug_key: Tuple[int, int, int]) -> str:
+        b, u, p = plug_key
+        return DEVICE_TYPES[(b * 7 + u * 3 + p) % len(DEVICE_TYPES)]
+
+    def make_database(self) -> Derby:
+        """Plug -> device-type table (the JFM join side)."""
+        db = Derby()
+        plugs = db.create_table("plugs", [("plug_key", tuple), ("device_type", str)])
+        plugs.insert_many((key, self.device_of(key)) for key in self.plug_keys())
+        plugs.create_index("plug_key")
+        return db
+
+    # ------------------------------------------------------------------
+
+    def readings(self) -> List[PlugReading]:
+        """All measurements, unsorted within marker blocks (see events)."""
+        rng = random.Random(self.seed)
+        readings: List[PlugReading] = []
+        for key in self.plug_keys():
+            device = self.device_of(key)
+            plug_rng = random.Random((self.seed, key).__hash__() & 0x7FFFFFFF)
+            t = plug_rng.uniform(0.0, self.mean_sample_gap)
+            while t < self.duration:
+                second = int(t)
+                b, u, p = key
+                readings.append(
+                    PlugReading(second, round(device_load(device, second, plug_rng), 3), p, u, b)
+                )
+                if plug_rng.random() < self.duplicate_probability:
+                    readings.append(
+                        PlugReading(
+                            second,
+                            round(device_load(device, second, plug_rng), 3),
+                            p, u, b,
+                        )
+                    )
+                gap = plug_rng.expovariate(1.0 / self.mean_sample_gap)
+                if plug_rng.random() < self.gap_probability:
+                    gap += plug_rng.uniform(2.0, 4.0) * self.mean_sample_gap
+                t += max(0.5, gap)
+        return readings
+
+    def events(self) -> List[Event]:
+        """The hub's stream: blocks of scrambled measurements + markers.
+
+        Marker ``i`` (timestamp ``marker_period * i``) is emitted after
+        every measurement with timestamp below ``marker_period * i`` —
+        the Example 4.1 watermark guarantee.
+        """
+        rng = random.Random(self.seed ^ 0x5EED)
+        by_block: Dict[int, List[PlugReading]] = {}
+        for reading in self.readings():
+            block = reading.timestamp // self.marker_period
+            by_block.setdefault(block, []).append(reading)
+        stream: List[Event] = []
+        n_blocks = self.duration // self.marker_period
+        for block in range(n_blocks):
+            batch = by_block.get(block, [])
+            rng.shuffle(batch)
+            for reading in batch:
+                stream.append(KV(reading.plug_key(), reading))
+            stream.append(Marker(self.marker_period * (block + 1)))
+        return stream
+
+    def total_data_tuples(self) -> int:
+        return sum(
+            1
+            for reading in self.readings()
+            if reading.timestamp < (self.duration // self.marker_period) * self.marker_period
+        )

@@ -1,0 +1,216 @@
+"""The Figure 5 transduction DAG: smart-homes load prediction.
+
+``JFM -> SORT -> LI -> Map -> SORT -> Avg -> Predict -> SINK``
+
+Stage semantics (Section 6):
+
+- **JFM** joins each measurement with the plug->device-type table,
+  filters to the device types under analysis, and re-shapes the tuple
+  into a plug key and a timestamped value.
+- **SORT** restores per-plug timestamp order inside each marker block
+  (the hub's watermark guarantee makes this a total per-key order).
+- **LI** fills missing per-second data points by linear interpolation
+  (Table 2's ``linearInterpolation``).
+- **Map** projects the plug key to its device type.
+- **SORT** restores per-device-type timestamp order.
+- **Avg** averages, per device type, all values with the same timestamp
+  (one output value per second).
+- **Predict** forecasts the consumption over the next ``horizon``
+  seconds with a REPTree over (second-of-day, current load, past-minute
+  consumption).
+
+The compiler fuses this into the Figure 5 deployment:
+``JFM | H  ->  MRG;SORT;LI;Map | H  ->  MRG;SORT;Avg;Predict | UNQ``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.apps.smarthomes.events import SmartHomesWorkload
+from repro.dag.graph import TransductionDAG
+from repro.db import Derby
+from repro.ml.reptree import RepTree
+from repro.operators.base import Marker
+from repro.operators.keyed_ordered import OpKeyedOrdered
+from repro.operators.library import TableJoin, map_pairs
+from repro.operators.sort import SortOp
+from repro.traces.trace_type import ordered_type, unordered_type
+
+U_READINGS = unordered_type("Ut", "SItem")
+U_PLUG = unordered_type("Plug", "VT")
+O_PLUG = ordered_type("Plug", "VT")
+U_DTYPE = unordered_type("DType", "VT")
+O_DTYPE = ordered_type("DType", "VT")
+
+#: Per-tuple CPU costs by DAG vertex (simulated seconds); the bench
+#: harness sums these per fused component.
+VERTEX_COSTS: Dict[str, float] = {
+    "JFM": 30e-6,     # plug->device lookup
+    "SORT1": 1.5e-6,  # per-item buffer/sort amortized
+    "LI": 1e-6,
+    "Map": 0.5e-6,
+    "SORT2": 1.5e-6,
+    "Avg": 1e-6,
+    "Predict": 5e-6,  # regression-tree inference
+}
+
+
+DEFAULT_KEEP_TYPES = (
+    "ac", "lights", "heater", "tv", "washer", "dryer", "dishwasher",
+    "oven", "computer", "waterheater",
+)
+
+
+def jfm_stage(db: Derby, keep_types=DEFAULT_KEEP_TYPES) -> TableJoin:
+    """Join-filter-map: plug lookup, device-type filter, tuple reshape."""
+    keep = frozenset(keep_types)
+
+    def lookup(key, reading):
+        row = db.lookup("plugs", "plug_key", reading.plug_key())
+        if row is None:
+            return []
+        device_type = row[1]
+        if device_type not in keep:
+            return []
+        return [(reading.plug_key(), (reading.value, reading.timestamp, device_type))]
+
+    return TableJoin(lookup, name="JFM")
+
+
+class LinearInterpolationOp(OpKeyedOrdered):
+    """Table 2's ``linearInterpolation``: per plug, fill per-second gaps.
+
+    State is the previous ``(value, ts, dtype)``; each new sample emits
+    the interpolated points for ``ts_prev+1 .. ts`` (the sample itself
+    included).  Duplicate timestamps emit nothing and keep the earlier
+    sample, matching the batch oracle in :mod:`repro.ml.interpolate`.
+    """
+
+    name = "LI"
+
+    def init(self):
+        return None
+
+    def on_item(self, state, key, value, emit):
+        load, ts, dtype = value
+        if state is None:
+            emit(key, value)
+            return (load, ts, dtype)
+        prev_load, prev_ts, _ = state
+        dt = ts - prev_ts
+        if dt <= 0:
+            return state  # duplicate timestamp: keep the first sample
+        for i in range(1, dt + 1):
+            interpolated = prev_load + i * (load - prev_load) / dt
+            emit(key, (interpolated, prev_ts + i, dtype))
+        return (load, ts, dtype)
+
+
+class AveragePerSecondOp(OpKeyedOrdered):
+    """Per device type, average all values sharing a timestamp.
+
+    Input is per-key sorted by timestamp, so a strictly larger timestamp
+    proves the previous second's group is complete (up to items delayed
+    across interpolation gaps, which streaming averaging inherently
+    assigns to their arrival group).
+    """
+
+    name = "Avg"
+
+    def init(self):
+        return None  # or (ts, total, count)
+
+    def on_item(self, state, key, value, emit):
+        load, ts = value
+        if state is None:
+            return (ts, load, 1)
+        current_ts, total, count = state
+        if ts == current_ts:
+            return (current_ts, total + load, count + 1)
+        emit(key, (total / count, current_ts))
+        return (ts, load, 1)
+
+
+class PredictOp(OpKeyedOrdered):
+    """REPTree forecast per device type and second.
+
+    Keeps the past minute of per-second averages; once the window is
+    warm, each new second emits ``(ts, predicted next-horizon sum)``.
+    """
+
+    name = "Predict"
+
+    def __init__(self, models: Dict[str, RepTree], past: int = 60):
+        self._models = models
+        self._past = past
+
+    def init(self):
+        return deque()
+
+    def on_item(self, state, key, value, emit):
+        avg_load, ts = value
+        window = state
+        window.append((ts, avg_load))
+        while window and window[0][0] < ts - self._past:
+            window.popleft()
+        if len(window) > self._past // 2:
+            past_sum = sum(v for t, v in window if t < ts)
+            model = self._models.get(key)
+            if model is not None:
+                prediction = model.predict([float(ts % 86400), avg_load, past_sum])
+                emit(key, (ts, round(prediction, 3)))
+        return window
+
+
+def map_to_device_type() -> Any:
+    """The Map stage: project the plug key to its device type."""
+    return map_pairs(
+        lambda plug_key, value: (value[2], (value[0], value[1])), name="Map"
+    )
+
+
+def smart_homes_dag(
+    db: Derby,
+    models: Dict[str, RepTree],
+    parallelism: int = 1,
+) -> TransductionDAG:
+    """Build the Figure 5 DAG with the given per-stage parallelism."""
+    dag = TransductionDAG("smart-homes")
+    src = dag.add_source("hub", output_type=U_READINGS)
+    jfm = dag.add_op(
+        jfm_stage(db), parallelism=parallelism, upstream=[src],
+        edge_types=[U_READINGS], name="JFM",
+    )
+    sort1 = dag.add_op(
+        SortOp(sort_key=lambda v: v[1], name="SORT1"),
+        parallelism=parallelism, upstream=[jfm], edge_types=[U_PLUG],
+    )
+    li = dag.add_op(
+        LinearInterpolationOp(), parallelism=parallelism, upstream=[sort1],
+        edge_types=[O_PLUG], name="LI",
+    )
+    map_stage = dag.add_op(
+        map_to_device_type(), parallelism=parallelism, upstream=[li],
+        edge_types=[O_PLUG], name="Map",
+    )
+    sort2 = dag.add_op(
+        SortOp(sort_key=lambda v: v[1], name="SORT2"),
+        parallelism=parallelism, upstream=[map_stage], edge_types=[U_DTYPE],
+    )
+    avg = dag.add_op(
+        AveragePerSecondOp(), parallelism=parallelism, upstream=[sort2],
+        edge_types=[O_DTYPE], name="Avg",
+    )
+    predict = dag.add_op(
+        PredictOp(models), parallelism=parallelism, upstream=[avg],
+        edge_types=[O_DTYPE], name="Predict",
+    )
+    dag.add_sink("SINK", upstream=predict, input_type=O_DTYPE)
+    return dag
+
+
+def smart_homes_costs() -> Dict[str, float]:
+    """Per-vertex CPU costs (see :data:`VERTEX_COSTS`)."""
+    return dict(VERTEX_COSTS)

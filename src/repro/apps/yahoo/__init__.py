@@ -1,0 +1,18 @@
+"""The extended Yahoo Streaming Benchmark (Section 6, Figures 3–4).
+
+A stream of user-advertisement interaction events
+``(userId, pageId, adId, eventType, eventTime)`` is processed by six
+queries of increasing complexity.  Each query exists in two forms:
+
+- a *transduction DAG* built from the Table 1 templates and compiled
+  with :func:`repro.compiler.compile_dag` (``queries`` module);
+- a *hand-crafted topology* written directly against the Storm-level API
+  with manual marker handling (``handcrafted`` module).
+
+``workload`` generates the event stream and the ads/users database.
+"""
+
+from repro.apps.yahoo.events import AdEvent, YahooWorkload
+from repro.apps.yahoo import queries, handcrafted
+
+__all__ = ["AdEvent", "YahooWorkload", "queries", "handcrafted"]

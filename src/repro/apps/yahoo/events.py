@@ -1,0 +1,103 @@
+"""Yahoo Streaming Benchmark workload: events and the campaigns database.
+
+The benchmark (Chintapalli et al., 2016; Section 6 of the paper) defines
+a stream of user/advertisement interaction tuples
+``(userId, pageId, adId, eventType, eventTime)`` where ``eventType`` is
+one of view/click/purchase, a fixed set of campaigns, and a database
+mapping each ad to its campaign.  Our extension (Queries III and VI)
+additionally assigns each user a location.
+
+:class:`YahooWorkload` generates the stream deterministically from a
+seed: ``events_per_second`` tuples per one-second block, each block
+closed by a synchronization marker whose timestamp is the second index —
+the paper configures sources to emit markers exactly when event
+timestamps cross one-second boundaries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, NamedTuple
+
+from repro.db import Derby
+from repro.operators.base import Event, KV, Marker
+
+EVENT_TYPES = ("view", "click", "purchase")
+
+
+class AdEvent(NamedTuple):
+    """One interaction tuple (the benchmark's event schema)."""
+
+    user_id: int
+    page_id: int
+    ad_id: int
+    event_type: str
+    event_time: int  # milliseconds
+
+
+@dataclass
+class YahooWorkload:
+    """Deterministic benchmark workload.
+
+    Parameters mirror the benchmark's knobs: number of campaigns, ads
+    per campaign, users, pages, locations (our extension), seconds of
+    stream, and events per second.
+    """
+
+    n_campaigns: int = 100
+    ads_per_campaign: int = 10
+    n_users: int = 1000
+    n_pages: int = 100
+    n_locations: int = 10
+    seconds: int = 10
+    events_per_second: int = 1000
+    seed: int = 7
+
+    # ------------------------------------------------------------------
+
+    def n_ads(self) -> int:
+        return self.n_campaigns * self.ads_per_campaign
+
+    def make_database(self) -> Derby:
+        """The ads->campaign and user->location tables, indexed."""
+        db = Derby()
+        ads = db.create_table("ads", [("ad_id", int), ("campaign_id", int)])
+        ads.insert_many(
+            (ad, ad // self.ads_per_campaign) for ad in range(self.n_ads())
+        )
+        ads.create_index("ad_id")
+        rng = random.Random(self.seed ^ 0xA5A5)
+        users = db.create_table("users", [("user_id", int), ("location", int)])
+        users.insert_many(
+            (user, rng.randrange(self.n_locations)) for user in range(self.n_users)
+        )
+        users.create_index("user_id")
+        db.create_store("aggregates")
+        return db
+
+    def events(self) -> List[Event]:
+        """The full stream: one marker per second, data keyed by user id.
+
+        The value of each KV is the :class:`AdEvent` tuple; the key is
+        the user id (any key works for the unordered input type — the
+        first stage re-keys as needed).
+        """
+        rng = random.Random(self.seed)
+        stream: List[Event] = []
+        for second in range(1, self.seconds + 1):
+            base_ms = (second - 1) * 1000
+            for _ in range(self.events_per_second):
+                event = AdEvent(
+                    user_id=rng.randrange(self.n_users),
+                    page_id=rng.randrange(self.n_pages),
+                    ad_id=rng.randrange(self.n_ads()),
+                    event_type=EVENT_TYPES[rng.randrange(3)],
+                    event_time=base_ms + rng.randrange(1000),
+                )
+                stream.append(KV(event.user_id, event))
+            stream.append(Marker(second))
+        return stream
+
+    def total_data_tuples(self) -> int:
+        return self.seconds * self.events_per_second

@@ -1,0 +1,427 @@
+"""Queries I–VI as transduction DAGs (Section 6, Figure 3, Figure 4).
+
+Each builder takes the workload's database and a parallelism degree and
+returns a typed :class:`~repro.dag.graph.TransductionDAG`; the benchmark
+harness compiles it with :func:`repro.compiler.compile_dag` and runs it
+on the simulated cluster.
+
+Per-tuple CPU costs (used by the simulator's cost model) are declared
+next to each query; the dominating cost throughout is the database
+lookup in the enrichment stages, as in the paper, where stage 1's Derby
+lookup is the bottleneck the data parallelism attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.apps.yahoo.events import AdEvent, YahooWorkload
+from repro.dag.graph import TransductionDAG
+from repro.db import Derby
+from repro.ml import KMeans
+from repro.operators.base import Marker
+from repro.operators.keyed_unordered import OpKeyedUnordered
+from repro.operators.library import (
+    RunningAggregate,
+    SlidingAggregate,
+    TumblingAggregate,
+    TableJoin,
+    sliding_count,
+)
+from repro.operators.stateless import OpStateless
+from repro.storm.costs import PerComponentCostModel
+from repro.traces.trace_type import unordered_type
+
+# ----------------------------------------------------------------------
+# Cost constants (simulated seconds per tuple), shared with the
+# hand-crafted implementations so both sides pay for the same real work.
+# ----------------------------------------------------------------------
+
+DB_LOOKUP_COST = 30e-6      # indexed Derby point lookup
+DB_WRITE_COST = 20e-6       # keyed persist
+WINDOW_UPDATE_COST = 1e-6   # per-key window/aggregate bookkeeping
+FEATURE_COST = 2e-6         # per-event feature extraction
+KMEANS_MARKER_COST = 500e-6 # one clustering run at a marker
+CHEAP_COST = 0.5e-6         # trivially cheap per-tuple work
+
+U_EVENTS = unordered_type("Ut", "YItem")
+U_CID = unordered_type("CID", "Long")
+
+
+def _cost(components: Dict[str, Any]) -> PerComponentCostModel:
+    return PerComponentCostModel(components, default=CHEAP_COST)
+
+
+def _marker_weighted(kv_cost: float, marker_cost: float) -> Callable[[Any], float]:
+    """Cost callable charging markers differently from data tuples."""
+
+    def cost(event) -> float:
+        return marker_cost if isinstance(event, Marker) else kv_cost
+
+    return cost
+
+
+# ----------------------------------------------------------------------
+# Stage operators.
+# ----------------------------------------------------------------------
+
+
+def enrich_campaign(db: Derby, views_only: bool) -> TableJoin:
+    """Stage 1 of Queries I/IV/V: (filter views,) lookup the campaign of
+    the event's ad, emit keyed by campaign id."""
+
+    def lookup(key, event: AdEvent):
+        if views_only and event.event_type != "view":
+            return []
+        row = db.lookup("ads", "ad_id", event.ad_id)
+        if row is None:
+            return []
+        campaign_id = row[1]
+        return [(campaign_id, event.event_time)]
+
+    return TableJoin(lookup, name="FilterMap" if views_only else "Enrich")
+
+
+def enrich_location(db: Derby, keep_user_key: bool) -> TableJoin:
+    """Lookup the user's location; key output by location (Query III) or
+    keep the user key carrying the location in the value (Query VI)."""
+
+    def lookup(key, event: AdEvent):
+        row = db.lookup("users", "user_id", event.user_id)
+        if row is None:
+            return []
+        location = row[1]
+        if keep_user_key:
+            return [(event.user_id, (location, event.event_type))]
+        return [(location, event.event_time)]
+
+    return TableJoin(lookup, name="Locate")
+
+
+class PersistingCount(RunningAggregate):
+    """Query II's stage: per-key running count persisted at each marker."""
+
+    def __init__(self, db: Derby, store: str = "aggregates"):
+        self._db = db
+        self._store = store
+        super().__init__(
+            inject=lambda k, v: 1,
+            identity_elem=0,
+            combine_fn=lambda x, y: x + y,
+            finish=lambda key, total, ts: total,
+            name="PersistCount",
+        )
+
+    def on_marker(self, new_state, key, m, emit):
+        self._db.persist(self._store, key, new_state)
+        emit(key, new_state)
+
+
+class UserFeatures(OpKeyedUnordered):
+    """Query VI stage 2: per-user per-block event-type counts.
+
+    Aggregate ``A`` is ``(views, clicks, purchases, location)``; at each
+    marker the feature vector is emitted re-keyed by location.
+    """
+
+    name = "Features"
+
+    def fold_in(self, key, value):
+        location, event_type = value
+        return (
+            1 if event_type == "view" else 0,
+            1 if event_type == "click" else 0,
+            1 if event_type == "purchase" else 0,
+            location,
+        )
+
+    def identity(self):
+        return (0, 0, 0, None)
+
+    def combine(self, x, y):
+        location = x[3] if x[3] is not None else y[3]
+        return (x[0] + y[0], x[1] + y[1], x[2] + y[2], location)
+
+    def init(self):
+        return None
+
+    def update_state(self, old_state, agg):
+        return agg
+
+    def on_marker(self, new_state, key, m, emit):
+        views, clicks, purchases, location = new_state
+        if location is None:
+            return  # no activity for this user in the block
+        emit(location, (float(views), float(clicks), float(purchases)))
+
+
+class LocationClustering(OpKeyedUnordered):
+    """Query VI stage 3: periodic per-location k-means over user vectors.
+
+    The block aggregate is the multiset of user feature vectors kept as
+    a sorted tuple, making ``combine`` commutative and associative.  The
+    state accumulates the vectors of the last ``every`` blocks ("clusters
+    the users periodically", Section 6); every ``every``-th marker runs
+    k-means and emits the location's ``(n_points, inertia)``.
+    """
+
+    name = "Cluster"
+
+    def __init__(self, k: int = 3, every: int = 1):
+        if every < 1:
+            raise ValueError("clustering period must be >= 1 markers")
+        self._k = k
+        self._every = every
+
+    def fold_in(self, key, value):
+        return (tuple(value),)
+
+    def identity(self):
+        return ()
+
+    def combine(self, x, y):
+        return tuple(sorted(x + y))
+
+    def init(self):
+        # (blocks accumulated modulo the period, accumulated vectors)
+        return (0, ())
+
+    def update_state(self, old_state, agg):
+        count, accumulated = old_state
+        base = () if count == 0 else accumulated
+        return ((count + 1) % self._every, tuple(sorted(base + agg)))
+
+    def on_marker(self, new_state, key, m, emit):
+        count, accumulated = new_state
+        if count != 0 or not accumulated:
+            return  # mid-period, or nothing to cluster
+        points = list(accumulated)
+        model = KMeans(self._k, seed=0).fit(points)
+        emit(key, (len(points), round(model.inertia(points), 9)))
+
+
+# ----------------------------------------------------------------------
+# Query DAG builders.
+# ----------------------------------------------------------------------
+
+
+def query1(db: Derby, parallelism: int = 1) -> TransductionDAG:
+    """Query I: single-stage stateless DB enrichment."""
+    dag = TransductionDAG("yahoo-q1")
+    src = dag.add_source("events", output_type=U_EVENTS)
+    enrich = dag.add_op(
+        enrich_campaign(db, views_only=False),
+        parallelism=parallelism,
+        upstream=[src],
+        edge_types=[U_EVENTS],
+        name="Enrich",
+    )
+    dag.add_sink("SINK", upstream=enrich, input_type=U_CID)
+    return dag
+
+
+def query1_costs() -> PerComponentCostModel:
+    return _cost({"Enrich": DB_LOOKUP_COST})
+
+
+def query2(db: Derby, parallelism: int = 1) -> TransductionDAG:
+    """Query II: per-ad running count persisted to the database."""
+    dag = TransductionDAG("yahoo-q2")
+    src = dag.add_source("events", output_type=U_EVENTS)
+    rekey = dag.add_op(
+        TableJoin(lambda k, e: [(e.ad_id, 1)], name="KeyByAd"),
+        parallelism=parallelism,
+        upstream=[src],
+        edge_types=[U_EVENTS],
+    )
+    count = dag.add_op(
+        PersistingCount(db),
+        parallelism=parallelism,
+        upstream=[rekey],
+        edge_types=[unordered_type("AdId", "Int")],
+        name="PersistCount",
+    )
+    dag.add_sink("SINK", upstream=count, input_type=unordered_type("AdId", "Long"))
+    return dag
+
+
+def query2_costs() -> PerComponentCostModel:
+    return _cost(
+        {
+            "KeyByAd": CHEAP_COST,
+            "PersistCount": _marker_weighted(WINDOW_UPDATE_COST, DB_WRITE_COST),
+            "KeyByAd;PersistCount": _marker_weighted(
+                WINDOW_UPDATE_COST + CHEAP_COST, DB_WRITE_COST
+            ),
+        }
+    )
+
+
+def query3(db: Derby, parallelism: int = 1) -> TransductionDAG:
+    """Query III: location enrichment + whole-history per-location count."""
+    dag = TransductionDAG("yahoo-q3")
+    src = dag.add_source("events", output_type=U_EVENTS)
+    locate = dag.add_op(
+        enrich_location(db, keep_user_key=False),
+        parallelism=parallelism,
+        upstream=[src],
+        edge_types=[U_EVENTS],
+        name="Locate",
+    )
+    summarize = dag.add_op(
+        RunningAggregate(
+            inject=lambda k, v: 1,
+            identity_elem=0,
+            combine_fn=lambda x, y: x + y,
+            finish=lambda key, total, ts: total,
+            name="History",
+        ),
+        parallelism=parallelism,
+        upstream=[locate],
+        edge_types=[unordered_type("Loc", "Int")],
+    )
+    dag.add_sink("SINK", upstream=summarize, input_type=unordered_type("Loc", "Long"))
+    return dag
+
+
+def query3_costs() -> PerComponentCostModel:
+    return _cost({"Locate": DB_LOOKUP_COST, "History": WINDOW_UPDATE_COST})
+
+
+def query4(db: Derby, parallelism: int = 1, window_seconds: int = 10) -> TransductionDAG:
+    """Query IV: the original Yahoo pipeline (Figure 3) — filter views,
+    campaign lookup, sliding per-campaign count over the last 10 s."""
+    dag = TransductionDAG("yahoo-q4")
+    src = dag.add_source("events", output_type=U_EVENTS)
+    filter_map = dag.add_op(
+        enrich_campaign(db, views_only=True),
+        parallelism=parallelism,
+        upstream=[src],
+        edge_types=[U_EVENTS],
+        name="FilterMap",
+    )
+    count = dag.add_op(
+        sliding_count(window_seconds, name="Count10s"),
+        parallelism=parallelism,
+        upstream=[filter_map],
+        edge_types=[U_CID],
+    )
+    dag.add_sink("SINK", upstream=count, input_type=unordered_type("CID", "Long"))
+    return dag
+
+
+def query4_costs() -> PerComponentCostModel:
+    return _cost({"FilterMap": DB_LOOKUP_COST, "Count10s": WINDOW_UPDATE_COST})
+
+
+def query5(db: Derby, parallelism: int = 1) -> TransductionDAG:
+    """Query V: Query IV with tumbling (non-overlapping) windows."""
+    dag = TransductionDAG("yahoo-q5")
+    src = dag.add_source("events", output_type=U_EVENTS)
+    filter_map = dag.add_op(
+        enrich_campaign(db, views_only=True),
+        parallelism=parallelism,
+        upstream=[src],
+        edge_types=[U_EVENTS],
+        name="FilterMap",
+    )
+    count = dag.add_op(
+        TumblingAggregate(
+            inject=lambda k, v: 1,
+            identity_elem=0,
+            combine_fn=lambda x, y: x + y,
+            finish=lambda key, total, ts: total,
+            name="CountTumbling",
+        ),
+        parallelism=parallelism,
+        upstream=[filter_map],
+        edge_types=[U_CID],
+    )
+    dag.add_sink("SINK", upstream=count, input_type=unordered_type("CID", "Long"))
+    return dag
+
+
+def query5_costs() -> PerComponentCostModel:
+    return _cost({"FilterMap": DB_LOOKUP_COST, "CountTumbling": WINDOW_UPDATE_COST})
+
+
+def query6(
+    db: Derby, parallelism: int = 1, k: int = 3, cluster_every: int = 1
+) -> TransductionDAG:
+    """Query VI: location enrichment, per-user features, per-location
+    k-means clustering every ``cluster_every`` markers (the three-stage
+    ML pipeline)."""
+    dag = TransductionDAG("yahoo-q6")
+    src = dag.add_source("events", output_type=U_EVENTS)
+    locate = dag.add_op(
+        enrich_location(db, keep_user_key=True),
+        parallelism=parallelism,
+        upstream=[src],
+        edge_types=[U_EVENTS],
+        name="Locate",
+    )
+    features = dag.add_op(
+        UserFeatures(),
+        parallelism=parallelism,
+        upstream=[locate],
+        edge_types=[unordered_type("UserId", "LocType")],
+        name="Features",
+    )
+    cluster = dag.add_op(
+        LocationClustering(k, every=cluster_every),
+        parallelism=parallelism,
+        upstream=[features],
+        edge_types=[unordered_type("Loc", "Vec")],
+        name="Cluster",
+    )
+    dag.add_sink("SINK", upstream=cluster, input_type=unordered_type("Loc", "Fit"))
+    return dag
+
+
+def query6_costs() -> PerComponentCostModel:
+    return _cost(
+        {
+            "Locate": DB_LOOKUP_COST,
+            "Features": _marker_weighted(FEATURE_COST, WINDOW_UPDATE_COST),
+            "Cluster": _marker_weighted(WINDOW_UPDATE_COST, KMEANS_MARKER_COST),
+        }
+    )
+
+
+def query4_multi_source(
+    db: Derby, n_sources: int, parallelism: int = 1, window_seconds: int = 10
+) -> TransductionDAG:
+    """Figure 3 verbatim: N Yahoo source vertices (``Yahoo0 .. YahooN``)
+    feeding the Filter-Map stage, whose implicit marker-aligned merge
+    unifies the sub-streams."""
+    dag = TransductionDAG("yahoo-q4-multi")
+    sources = [
+        dag.add_source(f"Yahoo{i}", output_type=U_EVENTS)
+        for i in range(n_sources)
+    ]
+    filter_map = dag.add_op(
+        enrich_campaign(db, views_only=True),
+        parallelism=parallelism,
+        upstream=sources,
+        edge_types=[U_EVENTS] * n_sources,
+        name="FilterMap",
+    )
+    count = dag.add_op(
+        sliding_count(window_seconds, name="Count10s"),
+        parallelism=parallelism,
+        upstream=[filter_map],
+        edge_types=[U_CID],
+    )
+    dag.add_sink("SINK", upstream=count, input_type=unordered_type("CID", "Long"))
+    return dag
+
+
+#: Registry used by tests and the benchmark harness.
+QUERY_BUILDERS = {
+    "I": (query1, query1_costs),
+    "II": (query2, query2_costs),
+    "III": (query3, query3_costs),
+    "IV": (query4, query4_costs),
+    "V": (query5, query5_costs),
+    "VI": (query6, query6_costs),
+}

@@ -1,0 +1,85 @@
+"""Rendering of experiment results in the paper's figure shapes.
+
+The paper's Figure 4 plots throughput (million tuples/sec) against
+machines (1..8) with two curves — hand-crafted (blue) and
+transduction-based (orange).  :func:`format_comparison_table` prints the
+same series as rows; :func:`format_scaling_table` prints a single curve
+(Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bench.harness import ScalingPoint
+
+
+def _mtps(throughput: float) -> str:
+    """Throughput in million tuples/sec, 3 decimals (the figure axis)."""
+    return f"{throughput / 1e6:.3f}"
+
+
+def format_scaling_table(title: str, points: Sequence[ScalingPoint]) -> str:
+    """One-curve table: machines vs throughput (Figure 6 shape)."""
+    lines = [title, "machines  throughput(Mtuples/s)"]
+    for point in points:
+        lines.append(f"{point.machines:>8}  {_mtps(point.throughput):>21}")
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    title: str,
+    handcrafted: Sequence[ScalingPoint],
+    generated: Sequence[ScalingPoint],
+) -> str:
+    """Two-curve table: the Figure 4 shape, plus the generated/hand ratio."""
+    lines = [
+        title,
+        "machines  handcrafted(M/s)  generated(M/s)  generated/handcrafted",
+    ]
+    for hand, gen in zip(handcrafted, generated):
+        assert hand.machines == gen.machines
+        ratio = gen.throughput / hand.throughput if hand.throughput else float("nan")
+        lines.append(
+            f"{hand.machines:>8}  {_mtps(hand.throughput):>16}  "
+            f"{_mtps(gen.throughput):>14}  {ratio:>21.3f}"
+        )
+    return "\n".join(lines)
+
+
+def scaling_factor(points: Sequence[ScalingPoint]) -> float:
+    """Throughput gain from the first to the last machine count."""
+    if not points or points[0].throughput == 0:
+        return float("nan")
+    return points[-1].throughput / points[0].throughput
+
+
+def ratios(
+    handcrafted: Sequence[ScalingPoint], generated: Sequence[ScalingPoint]
+) -> List[float]:
+    """Per-machine-count generated/hand-crafted throughput ratios."""
+    return [
+        g.throughput / h.throughput
+        for h, g in zip(handcrafted, generated)
+        if h.throughput
+    ]
+
+
+def ascii_chart(
+    points: Sequence[ScalingPoint], width: int = 40, title: str = ""
+) -> str:
+    """A terminal bar chart of a scaling curve (one bar per machine
+    count, length proportional to throughput) — the CLI's stand-in for
+    the paper's line plots."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max((p.throughput for p in points), default=0.0)
+    if peak <= 0:
+        return "\n".join(lines + ["(no data)"])
+    for point in points:
+        bar = "#" * max(1, int(round(width * point.throughput / peak)))
+        lines.append(
+            f"{point.machines:>3} | {bar:<{width}} {_mtps(point.throughput)} M/s"
+        )
+    return "\n".join(lines)

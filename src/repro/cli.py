@@ -1,0 +1,192 @@
+"""Command-line experiment runner: ``python -m repro <command>``.
+
+Commands regenerate the paper's evaluation artifacts without pytest:
+
+- ``fig4 [QUERY]`` — the Figure 4 throughput comparison (all queries or
+  one of I/II/III/IV/V/VI);
+- ``fig6`` — the Figure 6 Smart-Homes scaling curve;
+- ``motivation`` — the Section 2 naive-vs-typed soundness experiment;
+- ``show-dag {quickstart|yahoo|smarthomes|iot}`` — print a DAG (add
+  ``--dot`` for Graphviz output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _fig4(args) -> int:
+    sys.path.insert(0, "benchmarks")
+    from repro.apps.yahoo.events import YahooWorkload
+    from repro.apps.yahoo.queries import QUERY_BUILDERS
+    from repro.bench import format_comparison_table
+
+    from bench_fig4_yahoo import run_query_sweep  # type: ignore
+
+    workload = YahooWorkload(
+        seconds=5, events_per_second=800, n_campaigns=20, ads_per_campaign=10,
+        n_users=200, n_locations=8, seed=7,
+    )
+    events = workload.events()
+    queries = [args.query] if args.query else list(QUERY_BUILDERS)
+    for query in queries:
+        handcrafted, generated = run_query_sweep(query, workload, events)
+        print(format_comparison_table(
+            f"Figure 4 / Query {query}: throughput vs machines",
+            handcrafted, generated,
+        ))
+        print()
+    return 0
+
+
+def _fig6(args) -> int:
+    from repro.apps.smarthomes import (
+        SmartHomesWorkload,
+        smart_homes_dag,
+        train_predictor,
+    )
+    from repro.bench import (
+        MarkerTriggerCost,
+        format_scaling_table,
+        fused_cost_model,
+        sweep_machines,
+    )
+    from repro.bench.reporting import ascii_chart
+    from repro.compiler import compile_dag
+    from repro.compiler.compile import source_from_events
+
+    workload = SmartHomesWorkload(
+        n_buildings=12, units_per_building=5, plugs_per_unit=4, duration=120,
+    )
+    models = train_predictor(horizon=120, train_seconds=800, past=60)
+    events = workload.events()
+
+    def vertex_costs():
+        return {
+            "JFM": 30e-6,
+            "SORT1": MarkerTriggerCost(1.5e-6, 20e-6),
+            "LI": 1e-6,
+            "Map": 0.5e-6,
+            "SORT2": MarkerTriggerCost(1.5e-6, 20e-6),
+            "Avg": 1e-6,
+            "Predict": 5e-6,
+        }
+
+    def build(n):
+        dag = smart_homes_dag(workload.make_database(), models, parallelism=2 * n)
+        return compile_dag(dag, {"hub": source_from_events(events, 2)}).topology
+
+    points = sweep_machines(
+        build, lambda n: fused_cost_model(vertex_costs()),
+        machines=range(1, 9),
+    )
+    print(format_scaling_table("Figure 6 / Smart Homes:", points))
+    print()
+    print(ascii_chart(points, title="throughput vs machines"))
+    return 0
+
+
+def _motivation(args) -> int:
+    from repro.apps.iot import SensorWorkload, build_naive_topology, iot_typed_dag
+    from repro.compiler import compile_dag
+    from repro.compiler.compile import source_from_events
+    from repro.dag import evaluate_dag
+    from repro.operators.base import KV
+    from repro.storm import LocalRunner
+    from repro.storm.local import events_to_trace
+
+    events = SensorWorkload().events()
+    naive = set()
+    for seed in range(args.seeds):
+        topology, _ = build_naive_topology(events, map_parallelism=2)
+        report = LocalRunner(topology, seed=seed).run()
+        naive.add(tuple(sorted(
+            (e.key, e.value) for e in report.sink_events["SINK"]
+            if isinstance(e, KV)
+        )))
+    dag = iot_typed_dag(parallelism=2)
+    denotation = evaluate_dag(dag, {"SENSOR": events}).sink_trace("SINK", False)
+    compiled = compile_dag(dag, {"SENSOR": source_from_events(events, 1)})
+    typed = set()
+    for seed in range(args.seeds):
+        LocalRunner(compiled.topology, seed=seed).run()
+        typed.add(events_to_trace(compiled.sinks["SINK"].aligned_events, False))
+    print(f"naive Map x2: {len(naive)} distinct outputs over {args.seeds} seeds")
+    print(f"typed Map x2: {len(typed)} distinct outputs; equals denotation: "
+          f"{typed == {denotation}}")
+    return 0
+
+
+def _show_dag(args) -> int:
+    from repro.dag.viz import dag_to_dot, render_dag
+
+    if args.name == "quickstart":
+        from repro.operators.library import filter_items, tumbling_count
+        from repro.dag import TransductionDAG
+        from repro.traces.trace_type import unordered_type
+
+        U = unordered_type("Int", "Float")
+        dag = TransductionDAG("quickstart")
+        src = dag.add_source("source", output_type=U)
+        f = dag.add_op(filter_items(lambda k, v: k % 2 == 0, name="filterOp"),
+                       parallelism=2, upstream=[src], edge_types=[U])
+        c = dag.add_op(tumbling_count("sumOp"), parallelism=3, upstream=[f],
+                       edge_types=[U])
+        dag.add_sink("printer", upstream=c, input_type=U)
+    elif args.name == "yahoo":
+        from repro.apps.yahoo.events import YahooWorkload
+        from repro.apps.yahoo.queries import query4
+
+        workload = YahooWorkload(seconds=1, events_per_second=1)
+        dag = query4(workload.make_database(), parallelism=2)
+    elif args.name == "smarthomes":
+        from repro.apps.smarthomes import (
+            SmartHomesWorkload,
+            smart_homes_dag,
+            train_predictor,
+        )
+
+        workload = SmartHomesWorkload(n_buildings=1, units_per_building=1,
+                                      plugs_per_unit=1, duration=10)
+        models = train_predictor(horizon=60, train_seconds=200, past=30)
+        dag = smart_homes_dag(workload.make_database(), models, parallelism=2)
+    elif args.name == "iot":
+        from repro.apps.iot import iot_typed_dag
+
+        dag = iot_typed_dag(parallelism=2)
+    else:
+        print(f"unknown DAG {args.name!r}", file=sys.stderr)
+        return 2
+    print(dag_to_dot(dag) if args.dot else render_dag(dag))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PLDI'19 data-trace types: experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig4 = sub.add_parser("fig4", help="Figure 4 throughput comparison")
+    p_fig4.add_argument("query", nargs="?", choices=["I", "II", "III", "IV", "V", "VI"])
+    p_fig4.set_defaults(func=_fig4)
+
+    p_fig6 = sub.add_parser("fig6", help="Figure 6 Smart-Homes scaling")
+    p_fig6.set_defaults(func=_fig6)
+
+    p_mot = sub.add_parser("motivation", help="Section 2 soundness experiment")
+    p_mot.add_argument("--seeds", type=int, default=10)
+    p_mot.set_defaults(func=_motivation)
+
+    p_show = sub.add_parser("show-dag", help="print one of the paper's DAGs")
+    p_show.add_argument("name", choices=["quickstart", "yahoo", "smarthomes", "iot"])
+    p_show.add_argument("--dot", action="store_true", help="Graphviz output")
+    p_show.set_defaults(func=_show_dag)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Compilation of transduction DAGs to Storm topologies (Section 5).
+
+:func:`compile_dag` turns a typed transduction DAG into a
+:class:`~repro.storm.topology.Topology`:
+
+- type consistency is checked first (the ``getStormTopology()`` check);
+- each maximal fusable chain of operators becomes one bolt (the paper
+  fuses ``MRG`` and ``SORT`` with the operator that follows them to
+  eliminate communication delays — Figure 1 bottom, Figure 5 bottom);
+- every bolt gets a *merge frontend* that re-aligns the streams arriving
+  from all upstream task instances on their synchronization markers;
+- connections use marker-aware groupings (markers broadcast; data routed
+  round-robin for stateless consumers, by key hash for keyed consumers,
+  and to a single task in front of sinks) in place of Storm's built-in
+  groupings, which would inhibit marker propagation.
+"""
+
+from repro.compiler.compile import compile_dag, CompilerOptions
+from repro.compiler.glue import CompiledBolt, AlignedCaptureBolt, MergeFrontend
+from repro.compiler.inprocess import compile_inprocess, InProcessPipeline
+
+__all__ = [
+    "compile_dag",
+    "CompilerOptions",
+    "CompiledBolt",
+    "AlignedCaptureBolt",
+    "MergeFrontend",
+    "compile_inprocess",
+    "InProcessPipeline",
+]

@@ -1,0 +1,44 @@
+"""Transduction DAGs (Section 4): typed dataflow graphs of operators.
+
+A :class:`TransductionDAG` is a labelled directed acyclic graph whose
+edges carry data-trace types and whose processing vertices carry operator
+templates or structural operators (MRG / RR / HASH / UNQ / SORT).  The
+module provides:
+
+- :mod:`repro.dag.graph` — construction (the Figure 2 builder API),
+  structural validation, topological order;
+- :mod:`repro.dag.typecheck` — the edge/operator type-consistency check
+  performed by ``getStormTopology()`` in the paper;
+- :mod:`repro.dag.semantics` — the denotational edge-labelling semantics
+  of Section 4 (evaluate a DAG on input traces to output traces);
+- :mod:`repro.dag.rewrite` — the Theorem 4.3 parallelization equations,
+  MRG/HASH reordering, and fusion, used to derive deployments that are
+  provably (and here: testably) equivalent to the source DAG
+  (Corollary 4.4);
+- :mod:`repro.dag.viz` — ASCII rendering of DAGs in the style of the
+  paper's figures.
+"""
+
+from repro.dag.graph import TransductionDAG, Vertex, Edge, VertexKind
+from repro.dag.semantics import evaluate_dag, EvaluationResult, check_dag_invariance
+from repro.dag.rewrite import parallelize_vertex, deploy, fuse_linear_chains
+from repro.dag.typecheck import typecheck_dag
+from repro.dag.planner import Plan, plan_parallelism
+from repro.dag.viz import render_dag
+
+__all__ = [
+    "TransductionDAG",
+    "Vertex",
+    "Edge",
+    "VertexKind",
+    "evaluate_dag",
+    "EvaluationResult",
+    "check_dag_invariance",
+    "parallelize_vertex",
+    "deploy",
+    "fuse_linear_chains",
+    "typecheck_dag",
+    "Plan",
+    "plan_parallelism",
+    "render_dag",
+]

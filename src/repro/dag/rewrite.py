@@ -1,0 +1,276 @@
+"""Semantics-preserving DAG rewrites (Theorem 4.3, Corollary 4.4).
+
+The parallelization equations of Theorem 4.3:
+
+- ``MRG >> beta  =  (beta || ... || beta) >> MRG``  (stateless ``beta``)
+- ``gamma  =  HASH >> (gamma || ... || gamma) >> MRG``  (keyed ordered)
+- ``delta  =  HASH >> (delta || ... || delta) >> MRG``  (keyed unordered)
+- ``SORT   =  HASH >> (SORT  || ... || SORT ) >> MRG``
+
+plus ``beta = SPLIT >> (beta || ...) >> MRG`` for any splitter when
+``beta`` is stateless (round-robin is the load-balancing choice).
+
+:func:`parallelize_vertex` applies one equation as graph surgery;
+:func:`deploy` applies it to every OP vertex according to its
+parallelism hint, yielding the deployed DAG (Figure 1, top).
+:func:`reorder_merge_split` implements the "Reordering MRG and HASH"
+table of Section 4, and :func:`fuse_linear_chains` computes the fusion
+groups (``MRG;op`` / ``op;HASH``) that the compiler collapses into single
+deployment units (Figure 1, bottom).  Corollary 4.4 — any deployment is
+equivalent to the source DAG — is exercised in the test suite by
+evaluating both graphs on random inputs.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import DagError
+from repro.dag.graph import Edge, TransductionDAG, Vertex, VertexKind
+from repro.operators.merge import Merge
+from repro.operators.sort import SortOp
+from repro.operators.split import HashSplit, RoundRobinSplit, Splitter
+from repro.operators.stateless import OpStateless
+
+
+def copy_dag(dag: TransductionDAG) -> TransductionDAG:
+    """Structural copy sharing operator payloads (operators are immutable
+    configuration; all run state lives outside them)."""
+    clone = TransductionDAG(dag.name)
+    clone.vertices = {
+        vid: Vertex(
+            vertex_id=v.vertex_id,
+            kind=v.kind,
+            name=v.name,
+            payload=v.payload,
+            parallelism=v.parallelism,
+            output_type=v.output_type,
+            input_type=v.input_type,
+        )
+        for vid, v in dag.vertices.items()
+    }
+    clone.edges = {
+        eid: Edge(e.edge_id, e.src, e.src_port, e.dst, e.dst_port, e.trace_type)
+        for eid, e in dag.edges.items()
+    }
+    # Continue id counters beyond the copied ids.
+    import itertools
+
+    next_vid = max(clone.vertices, default=-1) + 1
+    next_eid = max(clone.edges, default=-1) + 1
+    clone._vertex_counter = itertools.count(next_vid)
+    clone._edge_counter = itertools.count(next_eid)
+    return clone
+
+
+def choose_splitter(operator, n: int) -> Splitter:
+    """The Theorem 4.3 splitter for parallelizing ``operator`` ``n`` ways.
+
+    Stateless operators may be split arbitrarily (round-robin balances
+    load); every keyed or sorting operator needs ``HASH`` so that each
+    key's items meet a single instance.
+    """
+    if isinstance(operator, OpStateless):
+        return RoundRobinSplit(n)
+    return HashSplit(n)
+
+
+def parallelize_vertex(
+    dag: TransductionDAG,
+    vertex_id: int,
+    n: int,
+    splitter: Optional[Splitter] = None,
+) -> TransductionDAG:
+    """Return a new DAG with OP vertex ``vertex_id`` replicated ``n`` ways.
+
+    The vertex is replaced by ``SPLIT >> (op || ... || op) >> MRG``.
+    Requires the vertex to have exactly one consumer (true of every DAG
+    in the paper's figures); multi-input vertices get an explicit ``MRG``
+    in front first, preserving the implicit-merge semantics.
+    """
+    result = copy_dag(dag)
+    vertex = result.vertices.get(vertex_id)
+    if vertex is None or vertex.kind != VertexKind.OP:
+        raise DagError(f"vertex {vertex_id} is not a processing (OP) vertex")
+    if n < 1:
+        raise DagError("parallelism must be positive")
+    out_edges = result.out_edges(vertex)
+    if len(out_edges) != 1:
+        raise DagError(
+            f"parallelize_vertex requires a single consumer; {vertex.name} has "
+            f"{len(out_edges)}"
+        )
+    if n == 1:
+        vertex.parallelism = 1
+        return result
+
+    in_edges = result.in_edges(vertex)
+    in_type = in_edges[0].trace_type
+    (out_edge,) = out_edges
+    out_type = out_edge.trace_type
+
+    # Explicit merge in front when the vertex has several inputs.
+    if len(in_edges) > 1:
+        front_merge = result.add_merge(Merge(len(in_edges)))
+        for port, edge in enumerate(in_edges):
+            edge.dst = front_merge.vertex_id
+            edge.dst_port = port
+        feed_edge = result.connect(front_merge, vertex, trace_type=in_type)
+        in_edges = [feed_edge]
+
+    operator = vertex.payload
+    split = splitter or choose_splitter(operator, n)
+    if split.n_outputs != n:
+        raise DagError("splitter fan-out must equal the parallelism degree")
+
+    split_vertex = result.add_split(split)
+    (in_edge,) = in_edges
+    in_edge.dst = split_vertex.vertex_id
+    in_edge.dst_port = 0
+
+    merge_vertex = result.add_merge(Merge(n))
+
+    copies: List[Vertex] = [vertex]
+    for _ in range(n - 1):
+        copies.append(
+            result.add_op(operator, parallelism=1, name=vertex.name)
+        )
+    vertex.parallelism = 1
+
+    for port, copy_vertex in enumerate(copies):
+        result.connect(
+            split_vertex, copy_vertex, trace_type=in_type, src_port=port, dst_port=0
+        )
+        result.connect(
+            copy_vertex, merge_vertex, trace_type=out_type, src_port=0, dst_port=port
+        )
+
+    out_edge.src = merge_vertex.vertex_id
+    out_edge.src_port = 0
+
+    result.validate()
+    return result
+
+
+def deploy(
+    dag: TransductionDAG,
+    parallelism: Optional[Dict[int, int]] = None,
+) -> TransductionDAG:
+    """Apply Theorem 4.3 to every OP vertex per its parallelism hint.
+
+    ``parallelism`` overrides hints by vertex id.  The result is the
+    deployed DAG of Figure 1 (top form, before fusion): every
+    parallelized stage is an explicit ``SPLIT >> copies >> MRG`` diamond.
+    """
+    result = copy_dag(dag)
+    op_ids = [v.vertex_id for v in result.vertices.values() if v.kind == VertexKind.OP]
+    for vid in op_ids:
+        hint = result.vertices[vid].parallelism
+        if parallelism is not None:
+            hint = parallelism.get(vid, hint)
+        if hint > 1:
+            result = parallelize_vertex(result, vid, hint)
+    return result
+
+
+def reorder_merge_split(dag: TransductionDAG, merge_id: int) -> TransductionDAG:
+    """Apply the "Reordering MRG and HASH" rule at one MRG >> SPLIT pair.
+
+    Pattern: a MERGE vertex whose single consumer is a SPLIT vertex.
+    Rewrites ``MRG_m >> SPLIT_n`` into per-input splitters followed by
+    per-channel merges: input ``i`` goes to a fresh ``SPLIT_n`` and the
+    ``j``-th outputs of all splitters meet in a fresh ``MRG_m`` feeding
+    the original ``j``-th consumer.  Semantics-preserving for HASH (and
+    any content-deterministic splitter) per the Section 4 table.
+    """
+    result = copy_dag(dag)
+    merge_vertex = result.vertices.get(merge_id)
+    if merge_vertex is None or merge_vertex.kind != VertexKind.MERGE:
+        raise DagError(f"vertex {merge_id} is not a MERGE vertex")
+    (mid_edge,) = result.out_edges(merge_vertex)
+    split_vertex = result.vertices[mid_edge.dst]
+    if split_vertex.kind != VertexKind.SPLIT:
+        raise DagError("reorder_merge_split requires MRG feeding a SPLIT")
+    splitter: Splitter = split_vertex.payload
+    if isinstance(splitter, RoundRobinSplit):
+        raise DagError("reordering MRG with a round-robin splitter is unsound")
+
+    in_edges = result.in_edges(merge_vertex)
+    out_edges = result.out_edges(split_vertex)
+    m, n = len(in_edges), len(out_edges)
+    stream_type = mid_edge.trace_type
+
+    new_splits = []
+    for edge in in_edges:
+        new_split = result.add_split(type(splitter)(n))
+        edge.dst = new_split.vertex_id
+        edge.dst_port = 0
+        new_splits.append(new_split)
+
+    for j, out_edge in enumerate(out_edges):
+        new_merge = result.add_merge(Merge(m))
+        for i, new_split in enumerate(new_splits):
+            result.connect(
+                new_split, new_merge, trace_type=stream_type, src_port=j, dst_port=i
+            )
+        out_edge.src = new_merge.vertex_id
+        out_edge.src_port = 0
+
+    # Remove the old MRG >> SPLIT pair and the edge between them.
+    del result.edges[mid_edge.edge_id]
+    del result.vertices[merge_vertex.vertex_id]
+    del result.vertices[split_vertex.vertex_id]
+    result.validate()
+    return result
+
+
+def fuse_linear_chains(dag: TransductionDAG) -> List[List[int]]:
+    """Compute fusion groups: maximal chains collapsible into one unit.
+
+    A MERGE or SORT vertex is fused into its single consumer and a SPLIT
+    vertex into its single producer (the paper fuses ``MRG``/``SORT``
+    with the following operator and ``op >> HASH`` into ``op;HASH`` to
+    remove communication hops).  Returns vertex-id groups in topological
+    order; the compiler maps each group to one deployment unit.
+    """
+    order = dag.topological_order()
+    group_of: Dict[int, List[int]] = {}
+    groups: List[List[int]] = []
+
+    def new_group(vid: int) -> List[int]:
+        group = [vid]
+        groups.append(group)
+        group_of[vid] = group
+        return group
+
+    for vertex in order:
+        vid = vertex.vertex_id
+        if vertex.kind in (VertexKind.SOURCE, VertexKind.SINK):
+            new_group(vid)
+            continue
+        if vertex.kind == VertexKind.MERGE:
+            # Fuse forward into the consumer: group assigned lazily when
+            # the consumer is visited; start tentative group now.
+            new_group(vid)
+            continue
+        if vertex.kind == VertexKind.OP:
+            # Absorb a directly preceding MERGE (single-consumer) group.
+            ins = dag.in_edges(vertex)
+            if len(ins) == 1:
+                producer = dag.vertices[ins[0].src]
+                if producer.kind == VertexKind.MERGE:
+                    group = group_of[producer.vertex_id]
+                    group.append(vid)
+                    group_of[vid] = group
+                    continue
+            new_group(vid)
+            continue
+        if vertex.kind == VertexKind.SPLIT:
+            # Fuse into the single producer's group.
+            (in_edge,) = dag.in_edges(vertex)
+            group = group_of[in_edge.src]
+            group.append(vid)
+            group_of[vid] = group
+            continue
+    return groups

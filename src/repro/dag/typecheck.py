@@ -1,0 +1,166 @@
+"""Type-consistency checking of transduction DAGs.
+
+This is the check performed by ``dag.getStormTopology()`` in Figure 2:
+every edge's data-trace type must be consistent with the operators at its
+endpoints.  The practical types of Section 4 are classified by *stream
+kind* — ``"U"`` (unordered between markers) or ``"O"`` (per-key ordered
+between markers) — and the rules are:
+
+- ``OpStateless`` / ``OpKeyedUnordered`` declare U inputs; by
+  *subsumption* they also accept O edges (consistency w.r.t. the coarser
+  U equivalence implies consistency w.r.t. the finer O equivalence —
+  Figure 5's stateless ``Map`` consumes the ordered LI output).  Their
+  outputs are U.
+- ``OpKeyedOrdered`` requires O inputs: it is order-sensitive, so a U
+  edge is a type error (the Section 2 bug: feeding ``LI`` a stream whose
+  per-key order was destroyed).  Its output is O.
+- ``SORT``: any input kind, O output.
+- ``RR``: requires a U edge **with no subsumption** — round-robin
+  splitting an ordered stream separates same-key items and destroys the
+  order downstream merges would need.
+- ``HASH`` / ``UNQ`` / ``MRG``: kind-preserving (merged inputs must
+  share one kind).
+- Kind-polymorphic operators (identity) propagate the input kind.
+
+Kinds come from edge annotations (:class:`DataTraceType`) where present
+and are inferred along the topological order otherwise; a contradiction
+raises :class:`~repro.errors.TraceTypeError` naming the offending spot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import TraceTypeError
+from repro.dag.graph import TransductionDAG, VertexKind
+from repro.operators.split import Splitter
+from repro.traces.trace_type import DataTraceType
+
+
+def _kind_of_type(trace_type: Optional[DataTraceType]) -> Optional[str]:
+    if trace_type is None:
+        return None
+    if not trace_type.keyed:
+        return None  # non-keyed formal types are outside the U/O fragment
+    return "O" if trace_type.ordered_per_key else "U"
+
+
+def typecheck_dag(dag: TransductionDAG) -> Dict[int, str]:
+    """Check the DAG; return the inferred kind ("U"/"O") per edge id.
+
+    Raises :class:`TraceTypeError` on any inconsistency.  Edges whose
+    kind cannot be determined default to ``"U"`` in the returned map.
+    """
+    dag.validate()
+    kinds: Dict[int, Optional[str]] = {
+        eid: _kind_of_type(edge.trace_type) for eid, edge in dag.edges.items()
+    }
+
+    def set_kind(edge_id: int, kind: Optional[str], context: str) -> None:
+        """Constrain an edge to exactly ``kind`` (hard unification)."""
+        if kind is None:
+            return
+        existing = kinds.get(edge_id)
+        if existing is None:
+            kinds[edge_id] = kind
+        elif existing != kind:
+            raise TraceTypeError(
+                f"type error at {context}: edge {edge_id} is {existing} "
+                f"but {kind} is required"
+            )
+
+    def require_input(edge_id: int, wanted: Optional[str], context: str) -> None:
+        """Check an operator input against an edge kind with subsumption:
+        a U-consuming operator accepts O edges, not vice versa."""
+        if wanted is None:
+            return
+        existing = kinds.get(edge_id)
+        if wanted == "O":
+            if existing == "U":
+                raise TraceTypeError(
+                    f"order-sensitive operator {context} fed by an "
+                    f"unordered (U) edge {edge_id}; insert SORT first "
+                    "(Section 2's Sort-LI fix)"
+                )
+            set_kind(edge_id, "O", context)
+        elif wanted == "U":
+            if existing is None:
+                kinds[edge_id] = "U"  # best-effort default, not a demand
+            # existing "O" is fine by subsumption; "U" is exact.
+
+    for vertex in dag.topological_order():
+        ins = dag.in_edges(vertex)
+        outs = dag.out_edges(vertex)
+        if vertex.kind == VertexKind.SOURCE:
+            # A source's declared stream type seeds its outgoing edge —
+            # without this, an unannotated edge from a U source into an
+            # order-sensitive operator would slip through inference.
+            for edge in outs:
+                set_kind(edge.edge_id, _kind_of_type(vertex.output_type),
+                         vertex.name)
+            continue
+        if vertex.kind == VertexKind.SINK:
+            for edge in ins:
+                require_input(edge.edge_id, _kind_of_type(vertex.input_type),
+                              vertex.name)
+            continue
+        if vertex.kind == VertexKind.OP:
+            operator = vertex.payload
+            for edge in ins:
+                require_input(edge.edge_id, operator.input_kind, vertex.name)
+            if operator.output_kind is not None:
+                for edge in outs:
+                    set_kind(edge.edge_id, operator.output_kind, vertex.name)
+            elif operator.input_kind is None:
+                # Kind-polymorphic (identity-like): propagate input kind.
+                in_kind = _common_kind(kinds, ins, vertex.name)
+                for edge in outs:
+                    set_kind(edge.edge_id, in_kind, vertex.name)
+        elif vertex.kind == VertexKind.MERGE:
+            in_kind = _common_kind(kinds, ins, vertex.name)
+            for edge in outs:
+                set_kind(edge.edge_id, in_kind, vertex.name)
+        elif vertex.kind == VertexKind.SPLIT:
+            splitter: Splitter = vertex.payload
+            (in_edge,) = ins
+            in_kind = kinds.get(in_edge.edge_id)
+            if splitter.requires_unordered:
+                if in_kind == "O":
+                    raise TraceTypeError(
+                        f"round-robin splitter {vertex.name} applied to an "
+                        "ordered (O) stream: this reorders same-key items "
+                        "and is rejected (Section 2)"
+                    )
+                set_kind(in_edge.edge_id, "U", vertex.name)
+                in_kind = "U"
+            for edge in outs:
+                set_kind(edge.edge_id, in_kind, vertex.name)
+
+    # Second pass: every order-sensitive operator must have O inputs even
+    # after inference filled in edge kinds.
+    for vertex in dag.topological_order():
+        if vertex.kind != VertexKind.OP:
+            continue
+        operator = vertex.payload
+        if operator.input_kind != "O":
+            continue
+        for edge in dag.in_edges(vertex):
+            kind = kinds.get(edge.edge_id)
+            if kind == "U":
+                raise TraceTypeError(
+                    f"order-sensitive operator {vertex.name} fed by an "
+                    f"unordered (U) edge {edge.edge_id}; insert SORT first "
+                    "(Section 2's Sort-LI fix)"
+                )
+
+    return {eid: kind or "U" for eid, kind in kinds.items()}
+
+
+def _common_kind(kinds, edges, context: str) -> Optional[str]:
+    found = {kinds.get(e.edge_id) for e in edges} - {None}
+    if len(found) > 1:
+        raise TraceTypeError(
+            f"type error at {context}: mixed stream kinds {sorted(found)} "
+            "merged into one channel"
+        )
+    return next(iter(found), None)

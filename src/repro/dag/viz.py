@@ -1,0 +1,77 @@
+"""ASCII rendering of transduction DAGs, in the style of the paper's
+figures (``HUB --U(Ut,M)--> JFM --U(ID,V)--> SORT --O(ID,V)--> ...``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dag.graph import TransductionDAG, VertexKind
+
+
+def render_dag(dag: TransductionDAG) -> str:
+    """Render the DAG as one line per edge, in topological order."""
+    lines: List[str] = [f"# {dag.name}"]
+    order = {v.vertex_id: i for i, v in enumerate(dag.topological_order())}
+    edges = sorted(
+        dag.edges.values(), key=lambda e: (order[e.src], e.src_port, order[e.dst])
+    )
+    for edge in edges:
+        src = dag.vertices[edge.src]
+        dst = dag.vertices[edge.dst]
+        label = f" --{edge.trace_type}--> " if edge.trace_type else " --> "
+        src_name = _decorated_name(src)
+        dst_name = _decorated_name(dst)
+        lines.append(f"{src_name}{label}{dst_name}")
+    return "\n".join(lines)
+
+
+def _decorated_name(vertex) -> str:
+    name = vertex.name
+    if vertex.kind == VertexKind.OP and vertex.parallelism > 1:
+        name = f"{name}[x{vertex.parallelism}]"
+    return name
+
+
+_DOT_SHAPES = {
+    VertexKind.SOURCE: "oval",
+    VertexKind.SINK: "doubleoctagon",
+    VertexKind.OP: "box",
+    VertexKind.MERGE: "triangle",
+    VertexKind.SPLIT: "invtriangle",
+}
+
+
+def dag_to_dot(dag: TransductionDAG) -> str:
+    """Render the DAG as Graphviz dot (edges labelled with trace types)."""
+    lines: List[str] = [f'digraph "{dag.name}" {{', "  rankdir=LR;"]
+    for vertex in dag.topological_order():
+        shape = _DOT_SHAPES[vertex.kind]
+        label = _decorated_name(vertex).replace('"', "'")
+        lines.append(
+            f'  v{vertex.vertex_id} [label="{label}", shape={shape}];'
+        )
+    for edge in dag.edges.values():
+        label = str(edge.trace_type) if edge.trace_type else ""
+        lines.append(
+            f'  v{edge.src} -> v{edge.dst} [label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def topology_to_dot(topology) -> str:
+    """Render a compiled/hand-written topology as Graphviz dot."""
+    lines: List[str] = [f'digraph "{topology.name}" {{', "  rankdir=LR;"]
+    for name, spec in topology.components.items():
+        shape = "oval" if spec.is_spout else "box"
+        safe = name.replace('"', "'")
+        lines.append(
+            f'  "{safe}" [label="{safe}\\nx{spec.parallelism}", shape={shape}];'
+        )
+    for name, spec in topology.components.items():
+        for upstream, grouping in spec.inputs.items():
+            label = grouping.describe().replace('"', "'")
+            lines.append(f'  "{upstream}" -> "{name}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

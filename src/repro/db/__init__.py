@@ -1,0 +1,21 @@
+"""An in-memory relational substrate (the Apache Derby substitution).
+
+The evaluation queries use a database in two roles: enrichment lookups
+(ads -> campaigns, sensors -> locations) inside stateless stages, and
+persistence of intermediate aggregates (Query II).  This package provides
+exactly those capabilities:
+
+- :class:`Table` — schema-checked rows with hash indexes and simple
+  select/join operations;
+- :class:`KeyValueStore` — a persisted key-value map with write counts;
+- :class:`Derby` — a facade bundling tables and stores behind lookup /
+  persist methods whose invocation counts feed the cost models (the
+  simulated time a lookup costs is charged by the experiment's
+  :class:`~repro.storm.costs.PerComponentCostModel`).
+"""
+
+from repro.db.table import Table, Schema, Column
+from repro.db.store import KeyValueStore
+from repro.db.derby import Derby
+
+__all__ = ["Table", "Schema", "Column", "KeyValueStore", "Derby"]

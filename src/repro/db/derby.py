@@ -1,0 +1,62 @@
+"""The "Derby" facade: the database the evaluation queries talk to.
+
+Bundles named tables and key-value stores and exposes the two operations
+the queries perform — point lookups for enrichment and keyed persists —
+with total operation counts.  Experiments attach a per-operation cost in
+their :class:`~repro.storm.costs.PerComponentCostModel`; the counts here
+let tests assert that the expensive path really ran.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.db.store import KeyValueStore
+from repro.db.table import Column, Schema, Table
+
+
+class Derby:
+    """An in-memory stand-in for the Apache Derby instance of Section 6."""
+
+    def __init__(self):
+        self.tables: Dict[str, Table] = {}
+        self.stores: Dict[str, KeyValueStore] = {}
+
+    # ------------------------------------------------------------------
+    # DDL.
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self, name: str, columns: Sequence[Tuple[str, Optional[type]]]
+    ) -> Table:
+        if name in self.tables:
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, Schema([Column(n, t) for n, t in columns]))
+        self.tables[name] = table
+        return table
+
+    def create_store(self, name: str) -> KeyValueStore:
+        if name in self.stores:
+            raise SchemaError(f"store {name!r} already exists")
+        store = KeyValueStore(name)
+        self.stores[name] = store
+        return store
+
+    # ------------------------------------------------------------------
+    # The operations streams perform.
+    # ------------------------------------------------------------------
+
+    def lookup(self, table: str, column: str, value: Any) -> Optional[Tuple[Any, ...]]:
+        """Indexed point lookup returning the first match (or None)."""
+        return self.tables[table].lookup_one(column, value)
+
+    def persist(self, store: str, key: Any, value: Any) -> None:
+        """Persist one keyed aggregate (Query II's write path)."""
+        self.stores[store].put(key, value)
+
+    def total_lookups(self) -> int:
+        return sum(t.lookup_count + t.scan_count for t in self.tables.values())
+
+    def total_writes(self) -> int:
+        return sum(s.write_count for s in self.stores.values())

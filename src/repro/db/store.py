@@ -1,0 +1,45 @@
+"""A persisted key-value store (Query II's aggregate persistence)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+class KeyValueStore:
+    """Key-value persistence with read/write accounting.
+
+    The store is the substitution for "intermediate results are persisted
+    in a database" (Query II): per-key aggregates are written here on
+    every marker, and the experiment's cost model charges each write.
+    """
+
+    def __init__(self, name: str = "store"):
+        self.name = name
+        self._data: Dict[Any, Any] = {}
+        self.write_count = 0
+        self.read_count = 0
+
+    def put(self, key: Any, value: Any) -> None:
+        self.write_count += 1
+        self._data[key] = value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self.read_count += 1
+        return self._data.get(key, default)
+
+    def delete(self, key: Any) -> None:
+        self.write_count += 1
+        self._data.pop(key, None)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(dict(self._data).items())
+
+    def snapshot(self) -> Dict[Any, Any]:
+        """A copy of the current contents (for assertions in tests)."""
+        return dict(self._data)
+
+    def __len__(self):
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data

@@ -1,0 +1,128 @@
+"""Schema-checked in-memory tables with hash indexes.
+
+Minimal but honest relational pieces: enough to express the evaluation's
+enrichment joins (ad -> campaign, sensor -> location, plug -> device
+type) with per-lookup accounting, without pretending to be a full DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name and an optional type constraint."""
+
+    name: str
+    type: Optional[type] = None
+
+    def check(self, value: Any) -> None:
+        if self.type is not None and not isinstance(value, self.type):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type.__name__}, "
+                f"got {type(value).__name__}"
+            )
+
+
+class Schema:
+    """An ordered set of columns."""
+
+    def __init__(self, columns: Sequence[Column]):
+        self.columns = list(columns)
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+        if len(self._index) != len(self.columns):
+            raise SchemaError("duplicate column names")
+
+    def position(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}")
+
+    def check_row(self, row: Tuple[Any, ...]) -> None:
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema "
+                f"arity {len(self.columns)}"
+            )
+        for column, value in zip(self.columns, row):
+            column.check(value)
+
+    def names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+
+class Table:
+    """Rows plus hash indexes; all reads are counted for cost accounting."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self.rows: List[Tuple[Any, ...]] = []
+        self._indexes: Dict[str, Dict[Any, List[int]]] = {}
+        self.lookup_count = 0
+        self.scan_count = 0
+
+    def insert(self, row: Sequence[Any]) -> None:
+        row = tuple(row)
+        self.schema.check_row(row)
+        position = len(self.rows)
+        self.rows.append(row)
+        for column, index in self._indexes.items():
+            index.setdefault(row[self.schema.position(column)], []).append(position)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def create_index(self, column: str) -> None:
+        """Build (or rebuild) a hash index on one column."""
+        position = self.schema.position(column)
+        index: Dict[Any, List[int]] = {}
+        for i, row in enumerate(self.rows):
+            index.setdefault(row[position], []).append(i)
+        self._indexes[column] = index
+
+    def lookup(self, column: str, value: Any) -> List[Tuple[Any, ...]]:
+        """Indexed point lookup; falls back to a scan without an index."""
+        if column in self._indexes:
+            self.lookup_count += 1
+            return [self.rows[i] for i in self._indexes[column].get(value, [])]
+        self.scan_count += 1
+        position = self.schema.position(column)
+        return [row for row in self.rows if row[position] == value]
+
+    def lookup_one(self, column: str, value: Any) -> Optional[Tuple[Any, ...]]:
+        """First matching row or ``None``."""
+        rows = self.lookup(column, value)
+        return rows[0] if rows else None
+
+    def select(self, predicate: Callable[[Tuple[Any, ...]], bool]) -> List[Tuple[Any, ...]]:
+        self.scan_count += 1
+        return [row for row in self.rows if predicate(row)]
+
+    def project(self, row: Tuple[Any, ...], columns: Sequence[str]) -> Tuple[Any, ...]:
+        return tuple(row[self.schema.position(c)] for c in columns)
+
+    def join(
+        self, other: "Table", self_column: str, other_column: str
+    ) -> List[Tuple[Any, ...]]:
+        """Hash join (for completeness and tests; streams use lookups)."""
+        other_pos = other.schema.position(other_column)
+        self_pos = self.schema.position(self_column)
+        build: Dict[Any, List[Tuple[Any, ...]]] = {}
+        for row in other.rows:
+            build.setdefault(row[other_pos], []).append(row)
+        self.scan_count += 1
+        result: List[Tuple[Any, ...]] = []
+        for row in self.rows:
+            for match in build.get(row[self_pos], []):
+                result.append(row + match)
+        return result
+
+    def __len__(self):
+        return len(self.rows)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything coming out of this package with a single
+``except`` clause while still distinguishing the finer-grained failure
+modes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TraceTypeError(ReproError):
+    """A value, item, or trace does not conform to its declared data-trace type.
+
+    Raised by type constructors when items carry unknown tags or ill-typed
+    values, and by the DAG type checker when an edge's type does not match
+    the operator endpoints (the Figure 2 ``getStormTopology()`` check).
+    """
+
+
+class DependenceError(ReproError):
+    """A dependence relation is malformed (e.g., not symmetric)."""
+
+
+class ConsistencyError(ReproError):
+    """A data-string transduction violates (X, Y)-consistency (Definition 3.5).
+
+    Carries the offending pair of equivalent inputs whose cumulative
+    outputs are not trace-equivalent, when available.
+    """
+
+    def __init__(self, message, witness=None):
+        super().__init__(message)
+        self.witness = witness
+
+
+class DagError(ReproError):
+    """A transduction DAG is structurally invalid (cycles, dangling edges,
+    sources with multiple outputs, sinks with multiple inputs, ...)."""
+
+
+class CompilationError(ReproError):
+    """The DAG-to-topology compiler rejected the input DAG."""
+
+
+class TopologyError(ReproError):
+    """A Storm topology is malformed (unknown component, bad grouping, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SchemaError(ReproError):
+    """A database table or row violates its declared schema."""
+
+
+class ModelError(ReproError):
+    """An ML model was used before fitting or with malformed inputs."""

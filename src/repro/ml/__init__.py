@@ -1,0 +1,16 @@
+"""Machine-learning substrate for the evaluation workloads.
+
+- :class:`RepTree` — a fast decision/regression tree in the style of
+  WEKA's REPTree (variance-reduction splits, optional reduced-error
+  pruning), used by the Smart-Homes power predictor (Section 6).
+- :class:`KMeans` — Lloyd's algorithm, used by Query VI's per-location
+  user clustering.
+- :func:`linear_interpolate` — gap filling for time series, the LI stage
+  of Example 4.1 / Figure 5.
+"""
+
+from repro.ml.reptree import RepTree
+from repro.ml.kmeans import KMeans
+from repro.ml.interpolate import linear_interpolate, fill_series
+
+__all__ = ["RepTree", "KMeans", "linear_interpolate", "fill_series"]

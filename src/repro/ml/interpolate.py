@@ -1,0 +1,52 @@
+"""Linear interpolation for time series with missing points.
+
+The LI stage (Example 4.1, Table 2, Figure 5) fills gaps in per-sensor
+time series: between a previous point ``(t0, x)`` and the next point
+``(t1, y)`` it emits one interpolated value per missing integer timestamp.
+The streaming form is Table 2's ``linearInterpolation``; the batch form
+here backs it and is reused by tests as an oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def linear_interpolate(
+    t0: int, x: float, t1: int, y: float
+) -> List[Tuple[int, float]]:
+    """Points at integer timestamps ``t0+1 .. t1`` on the segment.
+
+    Matches Table 2's loop: for ``i = 1 .. dt`` emit
+    ``(t0 + i, x + i * (y - x) / dt)`` — the final point ``(t1, y)`` is
+    included (it is the real sample).
+    """
+    dt = t1 - t0
+    if dt <= 0:
+        return []
+    return [
+        (t0 + i, x + i * (y - x) / dt)
+        for i in range(1, dt + 1)
+    ]
+
+
+def fill_series(samples: Sequence[Tuple[int, float]]) -> List[Tuple[int, float]]:
+    """Densify a sorted series: linear interpolation across every gap.
+
+    ``samples`` must be sorted by timestamp; duplicate timestamps keep
+    the first occurrence (matching the streaming operator, which treats a
+    repeated timestamp as a zero-length gap and emits nothing new).
+    """
+    result: List[Tuple[int, float]] = []
+    previous: Tuple[int, float] = None
+    for t, v in samples:
+        if previous is None:
+            result.append((t, v))
+        else:
+            t0, x = previous
+            if t > t0:
+                result.extend(linear_interpolate(t0, x, t, v))
+            else:
+                continue  # duplicate or out-of-order timestamp: skip
+        previous = result[-1]
+    return result

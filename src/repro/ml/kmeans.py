@@ -1,0 +1,109 @@
+"""k-means clustering (Lloyd's algorithm) for Query VI.
+
+Query VI periodically clusters users by their extracted feature vectors,
+independently per location.  The clustering runs inside an operator, so
+it must be deterministic given its inputs: initialization uses a seeded
+k-means++-style farthest-point heuristic over the data, no global RNG.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+
+Vector = Tuple[float, ...]
+
+
+def _distance_sq(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+class KMeans:
+    """Lloyd's algorithm with seeded k-means++ initialization."""
+
+    def __init__(self, k: int, max_iters: int = 50, tol: float = 1e-9, seed: int = 0):
+        if k < 1:
+            raise ModelError("k must be positive")
+        self.k = k
+        self.max_iters = max_iters
+        self.tol = tol
+        self.seed = seed
+        self.centroids: List[Vector] = []
+        self.iterations_run = 0
+
+    def fit(self, points: Sequence[Sequence[float]]) -> "KMeans":
+        """Cluster ``points``; duplicates allowed, k capped at #distinct."""
+        if not points:
+            raise ModelError("cannot cluster an empty point set")
+        data = [tuple(float(v) for v in p) for p in points]
+        k = min(self.k, len(set(data)))
+        self.centroids = self._init_centroids(data, k)
+        for iteration in range(self.max_iters):
+            assignments = [self._nearest(p) for p in data]
+            new_centroids: List[Vector] = []
+            for c in range(len(self.centroids)):
+                members = [data[i] for i, a in enumerate(assignments) if a == c]
+                if members:
+                    dim = len(members[0])
+                    new_centroids.append(
+                        tuple(
+                            sum(m[d] for m in members) / len(members)
+                            for d in range(dim)
+                        )
+                    )
+                else:
+                    new_centroids.append(self.centroids[c])
+            shift = max(
+                _distance_sq(a, b) for a, b in zip(self.centroids, new_centroids)
+            )
+            self.centroids = new_centroids
+            self.iterations_run = iteration + 1
+            if shift <= self.tol:
+                break
+        return self
+
+    def predict(self, point: Sequence[float]) -> int:
+        """Index of the nearest centroid."""
+        if not self.centroids:
+            raise ModelError("predict before fit")
+        return self._nearest(tuple(float(v) for v in point))
+
+    def inertia(self, points: Sequence[Sequence[float]]) -> float:
+        """Total within-cluster squared distance."""
+        return sum(
+            _distance_sq(p, self.centroids[self.predict(p)]) for p in points
+        )
+
+    # ------------------------------------------------------------------
+
+    def _nearest(self, point: Vector) -> int:
+        best, best_d = 0, math.inf
+        for i, c in enumerate(self.centroids):
+            d = _distance_sq(point, c)
+            if d < best_d:
+                best, best_d = i, d
+        return best
+
+    def _init_centroids(self, data: List[Vector], k: int) -> List[Vector]:
+        """Seeded k-means++: first centroid pseudo-random, the rest chosen
+        with probability proportional to squared distance."""
+        rng = random.Random(self.seed)
+        centroids = [data[rng.randrange(len(data))]]
+        while len(centroids) < k:
+            weights = [
+                min(_distance_sq(p, c) for c in centroids) for p in data
+            ]
+            total = sum(weights)
+            if total <= 0:
+                break  # all remaining points coincide with centroids
+            r = rng.random() * total
+            acc = 0.0
+            for p, w in zip(data, weights):
+                acc += w
+                if acc >= r:
+                    centroids.append(p)
+                    break
+        return centroids

@@ -1,0 +1,121 @@
+"""Runtime event and operator plumbing shared by all templates.
+
+Runtime streams carry two kinds of *events*:
+
+- :class:`KV` — a key-value pair;
+- :class:`Marker` — a synchronization marker with its timestamp.
+
+An :class:`Operator` is a *factory of stateful instances*: the object
+itself holds only configuration (so one operator can be instantiated many
+times for data parallelism); all mutable state lives in the value returned
+by :meth:`Operator.initial_state` and is threaded through
+:meth:`Operator.handle`.  ``handle`` returns the list of output events for
+one input event, forwarding markers automatically — in the paper's
+templates the programmer never emits markers; the runtime propagates them
+(Table 3's ``emit(m)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Union
+
+
+@dataclass(frozen=True)
+class KV:
+    """A key-value event."""
+
+    key: Any
+    value: Any
+
+    def __repr__(self):
+        return f"KV({self.key!r}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class Marker:
+    """A synchronization-marker event with its timestamp."""
+
+    timestamp: Any
+
+    def __repr__(self):
+        return f"Marker({self.timestamp!r})"
+
+
+Event = Union[KV, Marker]
+
+
+def is_marker_event(event: Event) -> bool:
+    """Whether a runtime event is a synchronization marker."""
+    return isinstance(event, Marker)
+
+
+class Emitter:
+    """Collects the key-value pairs emitted by template callbacks.
+
+    Template code calls :meth:`emit`; the runtime drains :attr:`buffer`
+    after each callback.  An optional ``key_guard`` enforces template
+    restrictions (``OpKeyedOrdered`` requires output to preserve the input
+    key).
+    """
+
+    def __init__(self, key_guard: Optional[Callable[[Any], None]] = None):
+        self.buffer: List[KV] = []
+        self._key_guard = key_guard
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit one output key-value pair."""
+        if self._key_guard is not None:
+            self._key_guard(key)
+        self.buffer.append(KV(key, value))
+
+    def drain(self) -> List[KV]:
+        """Remove and return everything emitted since the last drain."""
+        out, self.buffer = self.buffer, []
+        return out
+
+
+class Operator:
+    """Base class for single-input single-output operators.
+
+    Subclasses (the Table 1 templates) implement :meth:`initial_state`
+    and :meth:`handle`.  ``handle`` must be a pure function of
+    ``(configuration, state, event)`` up to mutation of ``state`` — no
+    hidden instance-level mutable state — so that parallel instances are
+    independent.
+    """
+
+    #: Optional data-trace types for DAG type checking.
+    input_type = None
+    output_type = None
+
+    #: Stream kinds for the DAG type checker: "U" (unordered between
+    #: markers), "O" (per-key ordered between markers), or ``None`` for
+    #: kind-polymorphic operators (identity).
+    input_kind = None
+    output_kind = None
+
+    #: Human-readable name used in topologies and renderings.
+    name: str = ""
+
+    def initial_state(self) -> Any:
+        """Create the state for a fresh operator instance."""
+        return None
+
+    def handle(self, state: Any, event: Event) -> List[Event]:
+        """Consume one event; return output events (markers included)."""
+        raise NotImplementedError
+
+    def run(self, events) -> List[Event]:
+        """Evaluate sequentially over an event iterable (testing aid)."""
+        state = self.initial_state()
+        out: List[Event] = []
+        for event in events:
+            out.extend(self.handle(state, event))
+        return out
+
+    def label(self) -> str:
+        return self.name or type(self).__name__
+
+    def __repr__(self):
+        return f"<{self.label()}>"

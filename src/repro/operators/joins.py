@@ -1,0 +1,143 @@
+"""Stream-stream joins and richer keyed aggregates on the templates.
+
+Everything here stays inside the Table 1 discipline so the Theorem 4.2
+guarantee carries over:
+
+- :class:`BlockJoin` — per-key join of two streams within each marker
+  block.  The two input streams are tagged into one ``U`` stream (a
+  merge of ``U(K, (side, V))``); between markers the per-key pairs of
+  both sides form bags, the monoid collects them, and the marker emits
+  the join of the two bags.  This is the windowed equi-join of streaming
+  SQL, expressed as an ``OpKeyedUnordered``.
+- :class:`TopK` — per-key top-k elements over each block (a commutative
+  idempotent-ish monoid on sorted tuples).
+- :class:`DistinctCount` — per-key count of distinct values per block
+  (monoid: frozensets under union).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.operators.base import Marker
+from repro.operators.keyed_unordered import OpKeyedUnordered
+from repro.operators.stateless import StatelessFn
+
+
+LEFT = "L"
+RIGHT = "R"
+
+
+def tag_side(side: str, name: str = "tag") -> StatelessFn:
+    """Stateless stage labelling a stream's values with its join side."""
+    if side not in (LEFT, RIGHT):
+        raise ValueError("side must be joins.LEFT or joins.RIGHT")
+    return StatelessFn(lambda k, v: [(k, (side, v))], name=f"{name}{side}")
+
+
+class BlockJoin(OpKeyedUnordered):
+    """Per-key, per-block equi-join of two side-tagged streams.
+
+    Input values are ``(side, value)`` pairs (see :func:`tag_side`); at
+    each marker, for every key, the cross product of the block's left
+    and right bags is emitted through ``project(key, left, right)``.
+    The monoid is a pair of multisets kept as sorted tuples, so
+    ``combine`` is associative and commutative.
+    """
+
+    name = "blockJoin"
+
+    def __init__(
+        self,
+        project: Optional[Callable[[Any, Any, Any], Any]] = None,
+    ):
+        self._project = project or (lambda key, left, right: (left, right))
+
+    def fold_in(self, key, value):
+        side, payload = value
+        if side == LEFT:
+            return ((payload,), ())
+        return ((), (payload,))
+
+    def identity(self):
+        return ((), ())
+
+    def combine(self, x, y):
+        return (
+            tuple(sorted(x[0] + y[0], key=repr)),
+            tuple(sorted(x[1] + y[1], key=repr)),
+        )
+
+    def init(self):
+        return None
+
+    def update_state(self, old_state, agg):
+        return agg
+
+    def on_marker(self, new_state, key, m: Marker, emit):
+        left_bag, right_bag = new_state
+        for left in left_bag:
+            for right in right_bag:
+                emit(key, self._project(key, left, right))
+
+
+class TopK(OpKeyedUnordered):
+    """Per-key top-k values of each block, by a sort key (default: the
+    value itself), emitted at each marker as one sorted tuple."""
+
+    name = "topK"
+
+    def __init__(self, k: int, sort_key: Optional[Callable[[Any], Any]] = None):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self._k = k
+        self._sort_key = sort_key or (lambda v: v)
+
+    def fold_in(self, key, value):
+        return (value,)
+
+    def identity(self):
+        return ()
+
+    def combine(self, x, y):
+        # repr tiebreak keeps the truncation deterministic on ties, which
+        # is what makes combine commutative (Theorem 4.2's requirement).
+        merged = sorted(
+            x + y, key=lambda v: (self._sort_key(v), repr(v)), reverse=True
+        )
+        return tuple(merged[: self._k])
+
+    def init(self):
+        return None
+
+    def update_state(self, old_state, agg):
+        return agg
+
+    def on_marker(self, new_state, key, m: Marker, emit):
+        if new_state:
+            emit(key, tuple(new_state))
+
+
+class DistinctCount(OpKeyedUnordered):
+    """Per-key count of distinct values in each block."""
+
+    name = "distinctCount"
+
+    def fold_in(self, key, value):
+        return frozenset((value,))
+
+    def identity(self):
+        return frozenset()
+
+    def combine(self, x, y):
+        return x | y
+
+    def init(self):
+        return None
+
+    def update_state(self, old_state, agg):
+        return agg
+
+    def on_marker(self, new_state, key, m: Marker, emit):
+        if new_state:
+            emit(key, len(new_state))

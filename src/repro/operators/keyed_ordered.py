@@ -1,0 +1,107 @@
+"""The ``OpKeyedOrdered`` template (Table 1): ``O(K, V) -> O(K, W)``.
+
+A stateful computation per key, order-dependent within each key.  The
+programmer overrides:
+
+- :meth:`OpKeyedOrdered.init` — the initial per-key state;
+- :meth:`OpKeyedOrdered.on_item` — consume one value for a key, emit
+  output pairs, and return the new state;
+- :meth:`OpKeyedOrdered.on_marker` — per-key marker handling, returning
+  the new state.
+
+**Restriction (enforced):** every emission must preserve the input key;
+otherwise the output could not be viewed as per-key ordered (the paper's
+explicit restriction in Table 1).  Violations raise
+:class:`~repro.errors.TraceTypeError`.
+
+Consistency: same-key items are processed in arrival order (which the
+``O`` input type fixes), different keys touch disjoint state and emit
+under different (independent) output tags, so equivalent inputs give
+equivalent outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.errors import TraceTypeError
+from repro.operators.base import KV, Emitter, Event, Marker, Operator
+
+
+class _KeyedOrderedState:
+    """Runtime state: per-key user states plus the set of seen keys."""
+
+    __slots__ = ("per_key", "emitter")
+
+    def __init__(self):
+        self.per_key: Dict[Any, Any] = {}
+        self.emitter = Emitter()
+
+
+class OpKeyedOrdered(Operator):
+    """Per-key ordered stateful transduction ``O(K, V) -> O(K, W)``."""
+
+    input_kind = "O"
+    output_kind = "O"
+
+    def init(self) -> Any:
+        """The state a key starts with when first seen."""
+        raise NotImplementedError
+
+    def on_item(
+        self, state: Any, key: Any, value: Any, emit: Callable[[Any, Any], None]
+    ) -> Any:
+        """Consume one value for ``key``; return the key's new state."""
+        raise NotImplementedError
+
+    def on_marker(
+        self, state: Any, key: Any, m: Marker, emit: Callable[[Any, Any], None]
+    ) -> Any:
+        """Per-key marker handling; return the key's new state.
+
+        Default: state unchanged, no output (the common case, e.g.
+        ``linearInterpolation`` in Table 2).
+        """
+        return state
+
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> _KeyedOrderedState:
+        return _KeyedOrderedState()
+
+    def handle(self, state: _KeyedOrderedState, event: Event) -> List[Event]:
+        if isinstance(event, Marker):
+            for key in list(state.per_key):
+                guarded = _KeyGuardedEmit(state.emitter, key)
+                state.per_key[key] = self.on_marker(
+                    state.per_key[key], key, event, guarded.emit
+                )
+            out: List[Event] = list(state.emitter.drain())
+            out.append(event)
+            return out
+        key = event.key
+        if key not in state.per_key:
+            state.per_key[key] = self.init()
+        guarded = _KeyGuardedEmit(state.emitter, key)
+        state.per_key[key] = self.on_item(
+            state.per_key[key], key, event.value, guarded.emit
+        )
+        return list(state.emitter.drain())
+
+
+class _KeyGuardedEmit:
+    """Emit wrapper enforcing the key-preservation restriction."""
+
+    __slots__ = ("_emitter", "_key")
+
+    def __init__(self, emitter: Emitter, key: Any):
+        self._emitter = emitter
+        self._key = key
+
+    def emit(self, key: Any, value: Any) -> None:
+        if key != self._key:
+            raise TraceTypeError(
+                "OpKeyedOrdered must preserve the input key: "
+                f"got emit({key!r}, ...) while processing key {self._key!r}"
+            )
+        self._emitter.emit(key, value)

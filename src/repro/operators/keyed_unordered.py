@@ -1,0 +1,161 @@
+"""The ``OpKeyedUnordered`` template (Table 1) and its Table 3 algorithm.
+
+Per-key stateful computation over *unordered* between-marker input:
+to keep the result independent of arrival order, item processing never
+updates the state.  Instead the between-marker items of each key are
+folded through a **commutative monoid** ``(A, id, combine)``; at each
+marker the aggregate is incorporated into the per-key state by the pure
+``update_state`` and ``on_marker`` may emit.
+
+The runtime below is a direct transcription of Table 3, including the
+subtle ``startS`` bookkeeping: a key first seen after ``k`` markers must
+start from ``initial_state`` advanced by ``k`` empty aggregates, so that
+all keys stay logically synchronized.
+
+The programmer overrides the seven pure/side-effecting pieces:
+``fold_in`` (Table 1's ``in``), ``identity`` (``id``), ``combine``,
+``init`` (``initialState``), ``update_state``, ``on_item`` (reads only
+the *last snapshot* of the state), and ``on_marker``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.operators.base import Emitter, Event, Marker, Operator
+
+
+@dataclass
+class CommutativeMonoid:
+    """An explicit commutative monoid ``(A, identity, combine)``.
+
+    ``combine`` must be associative and commutative; :meth:`spot_check`
+    verifies both on sampled elements (used by tests and by the optional
+    template validation).
+    """
+
+    identity: Any
+    combine: Callable[[Any, Any], Any]
+
+    def fold(self, values) -> Any:
+        acc = self.identity
+        for value in values:
+            acc = self.combine(acc, value)
+        return acc
+
+    def spot_check(self, samples) -> bool:
+        """Check associativity/commutativity/identity on given samples."""
+        samples = list(samples)
+        for x in samples:
+            if self.combine(x, self.identity) != x:
+                return False
+            if self.combine(self.identity, x) != x:
+                return False
+        for x in samples:
+            for y in samples:
+                if self.combine(x, y) != self.combine(y, x):
+                    return False
+                for z in samples:
+                    left = self.combine(self.combine(x, y), z)
+                    right = self.combine(x, self.combine(y, z))
+                    if left != right:
+                        return False
+        return True
+
+
+class _Record:
+    """Table 3's record type ``R = { agg: A, state: S }``."""
+
+    __slots__ = ("agg", "state")
+
+    def __init__(self, agg: Any, state: Any):
+        self.agg = agg
+        self.state = state
+
+
+class _KeyedUnorderedState:
+    """Table 3's memory: the state map plus ``startS``."""
+
+    __slots__ = ("state_map", "start_state", "emitter")
+
+    def __init__(self, start_state: Any):
+        self.state_map: Dict[Any, _Record] = {}
+        self.start_state = start_state
+        self.emitter = Emitter()
+
+
+class OpKeyedUnordered(Operator):
+    """Per-key unordered stateful transduction ``U(K, V) -> U(L, W)``.
+
+    All of :meth:`fold_in`, :meth:`identity`, :meth:`combine`,
+    :meth:`init`, and :meth:`update_state` must be pure; only
+    :meth:`on_item` and :meth:`on_marker` may emit.
+    """
+
+    input_kind = "U"
+    output_kind = "U"
+
+    # ------------------------------------------------------------------
+    # The seven template functions (Table 1).
+    # ------------------------------------------------------------------
+
+    def fold_in(self, key: Any, value: Any) -> Any:
+        """``in(key, value) -> A``: inject one item into the monoid."""
+        raise NotImplementedError
+
+    def identity(self) -> Any:
+        """``id() -> A``: the monoid identity."""
+        raise NotImplementedError
+
+    def combine(self, x: Any, y: Any) -> Any:
+        """``combine(x, y) -> A``: associative and commutative."""
+        raise NotImplementedError
+
+    def init(self) -> Any:
+        """``initialState() -> S``."""
+        raise NotImplementedError
+
+    def update_state(self, old_state: Any, agg: Any) -> Any:
+        """``updateState(S, A) -> S``: fold a block aggregate into the state."""
+        raise NotImplementedError
+
+    def on_item(
+        self, last_state: Any, key: Any, value: Any, emit: Callable[[Any, Any], None]
+    ) -> None:
+        """Per-item output hook; sees only the last marker-snapshot state."""
+
+    def on_marker(
+        self, new_state: Any, key: Any, m: Marker, emit: Callable[[Any, Any], None]
+    ) -> None:
+        """Per-key marker output hook; sees the freshly updated state."""
+
+    # ------------------------------------------------------------------
+    # Table 3 runtime.
+    # ------------------------------------------------------------------
+
+    def monoid(self) -> CommutativeMonoid:
+        """The template's monoid as an explicit object (for validation)."""
+        return CommutativeMonoid(self.identity(), self.combine)
+
+    def initial_state(self) -> _KeyedUnorderedState:
+        return _KeyedUnorderedState(self.init())
+
+    def handle(self, state: _KeyedUnorderedState, event: Event) -> List[Event]:
+        if isinstance(event, Marker):
+            for key, record in state.state_map.items():
+                record.state = self.update_state(record.state, record.agg)
+                record.agg = self.identity()
+                self.on_marker(record.state, key, event, state.emitter.emit)
+            state.start_state = self.update_state(state.start_state, self.identity())
+            out: List[Event] = list(state.emitter.drain())
+            out.append(event)
+            return out
+        key = event.key
+        record = state.state_map.get(key)
+        if record is None:
+            record = _Record(self.identity(), state.start_state)
+            state.state_map[key] = record
+        self.on_item(record.state, key, event.value, state.emitter.emit)
+        record.agg = self.combine(record.agg, self.fold_in(key, event.value))
+        return list(state.emitter.drain())

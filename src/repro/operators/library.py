@@ -1,0 +1,385 @@
+"""A library of common streaming operators built from the Table 1 templates.
+
+Everything here is expressed through :class:`OpStateless`,
+:class:`OpKeyedOrdered`, or :class:`OpKeyedUnordered`, so each operator
+inherits the template's consistency guarantee (Theorem 4.2).  These are
+the building blocks the evaluation queries are assembled from:
+
+- :func:`map_values`, :func:`filter_items`, :func:`rekey` — stateless
+  per-item transforms.
+- :class:`TumblingAggregate` — per-key aggregation over each
+  between-marker block (Query V's tumbling windows; also the
+  ``sumOp`` of Figure 2 with one-block windows).
+- :class:`SlidingAggregate` — per-key aggregation over the last ``w``
+  blocks, emitted at every marker (Query IV's 10-second windows with
+  1-second markers).
+- :class:`RunningAggregate` — per-key aggregation over the entire
+  history, emitted at every marker (Query III's whole-history
+  summarization; the ``maxOfAvgPerID`` pattern of Table 2).
+- :class:`TableJoin` — stateless stream-table join (the JFM stages).
+- :class:`KeyedSequenceOp` — adapter turning a per-key function over
+  ordered values into an ``OpKeyedOrdered``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
+
+from repro.operators.base import Marker
+from repro.operators.keyed_ordered import OpKeyedOrdered
+from repro.operators.keyed_unordered import OpKeyedUnordered
+from repro.operators.stateless import OpStateless, StatelessFn
+
+
+# ----------------------------------------------------------------------
+# Stateless transforms.
+# ----------------------------------------------------------------------
+
+
+def map_values(fn: Callable[[Any], Any], name: str = "map") -> OpStateless:
+    """Apply ``fn`` to every value, keeping keys."""
+    return StatelessFn(lambda k, v: [(k, fn(v))], name=name)
+
+
+def map_pairs(fn: Callable[[Any, Any], Tuple[Any, Any]], name: str = "map") -> OpStateless:
+    """Apply ``fn(key, value) -> (key', value')`` to every pair."""
+    return StatelessFn(lambda k, v: [fn(k, v)], name=name)
+
+
+def filter_items(predicate: Callable[[Any, Any], bool], name: str = "filter") -> OpStateless:
+    """Keep only pairs satisfying ``predicate(key, value)``."""
+    return StatelessFn(lambda k, v: [(k, v)] if predicate(k, v) else [], name=name)
+
+
+def rekey(key_fn: Callable[[Any, Any], Any], name: str = "rekey") -> OpStateless:
+    """Replace each pair's key with ``key_fn(key, value)``."""
+    return StatelessFn(lambda k, v: [(key_fn(k, v), v)], name=name)
+
+
+def flat_map(fn: Callable[[Any, Any], Iterable[Tuple[Any, Any]]], name: str = "flatMap") -> OpStateless:
+    """Emit zero or more output pairs per input pair."""
+    return StatelessFn(lambda k, v: list(fn(k, v)), name=name)
+
+
+class TableJoin(OpStateless):
+    """Stateless stream-table join: enrich each pair via a lookup.
+
+    ``lookup(key, value)`` returns an iterable of output pairs (empty to
+    drop the item — join-filter-map in one stage, as in the JFM vertices
+    of Example 4.1 and Figure 5).
+    """
+
+    def __init__(
+        self,
+        lookup: Callable[[Any, Any], Iterable[Tuple[Any, Any]]],
+        name: str = "JFM",
+    ):
+        self._lookup = lookup
+        self.name = name
+
+    def on_item(self, key, value, emit):
+        for out_key, out_value in self._lookup(key, value):
+            emit(out_key, out_value)
+
+
+# ----------------------------------------------------------------------
+# Keyed unordered aggregation.
+# ----------------------------------------------------------------------
+
+
+class TumblingAggregate(OpKeyedUnordered):
+    """Per-key aggregate of each between-marker block, emitted per marker.
+
+    Parameters
+    ----------
+    inject: ``(key, value) -> A``
+    identity_elem: the monoid identity of ``A``
+    combine_fn: associative commutative ``(A, A) -> A``
+    finish: ``(key, A, marker_ts) -> output value`` or ``None`` to skip
+        emission for a block (e.g. skip empty blocks).
+    emit_empty: whether blocks with no items for a key still emit.
+    """
+
+    def __init__(
+        self,
+        inject: Callable[[Any, Any], Any],
+        identity_elem: Any,
+        combine_fn: Callable[[Any, Any], Any],
+        finish: Callable[[Any, Any, Any], Any],
+        emit_empty: bool = False,
+        name: str = "tumbling",
+    ):
+        self._inject = inject
+        self._identity = identity_elem
+        self._combine = combine_fn
+        self._finish = finish
+        self._emit_empty = emit_empty
+        self.name = name
+
+    def fold_in(self, key, value):
+        return self._inject(key, value)
+
+    def identity(self):
+        return self._identity
+
+    def combine(self, x, y):
+        return self._combine(x, y)
+
+    def init(self):
+        # State is the last block's aggregate (or None before any marker).
+        return None
+
+    def update_state(self, old_state, agg):
+        return agg
+
+    def on_marker(self, new_state, key, m: Marker, emit):
+        if new_state == self._identity and not self._emit_empty:
+            return
+        result = self._finish(key, new_state, m.timestamp)
+        if result is not None:
+            emit(key, result)
+
+
+class RunningAggregate(OpKeyedUnordered):
+    """Per-key aggregate over the whole history, emitted at every marker.
+
+    ``finish(key, acc, marker_ts)`` maps the accumulated monoid value to
+    the emitted output value (or ``None`` to suppress emission).
+    """
+
+    def __init__(
+        self,
+        inject: Callable[[Any, Any], Any],
+        identity_elem: Any,
+        combine_fn: Callable[[Any, Any], Any],
+        finish: Callable[[Any, Any, Any], Any],
+        name: str = "running",
+    ):
+        self._inject = inject
+        self._identity = identity_elem
+        self._combine = combine_fn
+        self._finish = finish
+        self.name = name
+
+    def fold_in(self, key, value):
+        return self._inject(key, value)
+
+    def identity(self):
+        return self._identity
+
+    def combine(self, x, y):
+        return self._combine(x, y)
+
+    def init(self):
+        return self._identity
+
+    def update_state(self, old_state, agg):
+        return self._combine(old_state, agg)
+
+    def on_marker(self, new_state, key, m: Marker, emit):
+        result = self._finish(key, new_state, m.timestamp)
+        if result is not None:
+            emit(key, result)
+
+
+class SlidingAggregate(OpKeyedUnordered):
+    """Per-key aggregate over the last ``window`` blocks, per marker.
+
+    The per-key state is a bounded deque of block aggregates; at each
+    marker the deque advances by one block and ``finish`` is applied to
+    the fold of the retained blocks.  With 1-second markers and
+    ``window=10`` this is exactly Query IV's "views in the last 10
+    seconds, updated every second".
+    """
+
+    def __init__(
+        self,
+        window: int,
+        inject: Callable[[Any, Any], Any],
+        identity_elem: Any,
+        combine_fn: Callable[[Any, Any], Any],
+        finish: Callable[[Any, Any, Any], Any],
+        emit_empty: bool = False,
+        name: str = "sliding",
+    ):
+        if window < 1:
+            raise ValueError("window must be at least one block")
+        self._window = window
+        self._inject = inject
+        self._identity = identity_elem
+        self._combine = combine_fn
+        self._finish = finish
+        self._emit_empty = emit_empty
+        self.name = name
+
+    def fold_in(self, key, value):
+        return self._inject(key, value)
+
+    def identity(self):
+        return self._identity
+
+    def combine(self, x, y):
+        return self._combine(x, y)
+
+    def init(self):
+        return ()  # immutable tuple of recent block aggregates
+
+    def update_state(self, old_state, agg):
+        blocks = old_state + (agg,)
+        if len(blocks) > self._window:
+            blocks = blocks[-self._window:]
+        return blocks
+
+    def on_marker(self, new_state, key, m: Marker, emit):
+        acc = self._identity
+        for block_agg in new_state:
+            acc = self._combine(acc, block_agg)
+        if acc == self._identity and not self._emit_empty:
+            return
+        result = self._finish(key, acc, m.timestamp)
+        if result is not None:
+            emit(key, result)
+
+
+def tumbling_count(name: str = "count") -> TumblingAggregate:
+    """Per-key count of items in each block."""
+    return TumblingAggregate(
+        inject=lambda k, v: 1,
+        identity_elem=0,
+        combine_fn=lambda x, y: x + y,
+        finish=lambda key, total, ts: total,
+        name=name,
+    )
+
+
+def sliding_count(window: int, name: str = "count") -> SlidingAggregate:
+    """Per-key count of items over the last ``window`` blocks."""
+    return SlidingAggregate(
+        window=window,
+        inject=lambda k, v: 1,
+        identity_elem=0,
+        combine_fn=lambda x, y: x + y,
+        finish=lambda key, total, ts: total,
+        name=name,
+    )
+
+
+class MaxOfAvgPerKey(OpKeyedUnordered):
+    """Table 2's ``maxOfAvgPerID``, verbatim.
+
+    Per key: average the values of each between-marker block (the
+    ``AvgPair`` monoid of sums and counts), keep the running maximum of
+    those averages as the state, and emit it at every marker with the
+    paper's ``m.timestamp - 1`` stamping.
+    """
+
+    name = "maxOfAvgPerID"
+
+    def fold_in(self, key, value):
+        return (float(value), 1)          # AvgPair in(...)
+
+    def identity(self):
+        return (0.0, 0)                   # AvgPair id()
+
+    def combine(self, x, y):
+        return (x[0] + y[0], x[1] + y[1])  # componentwise sum
+
+    def init(self):
+        return float("-inf")              # initialState()
+
+    def update_state(self, old_state, agg):
+        total, count = agg
+        if count == 0:
+            return old_state              # empty block: average undefined
+        return max(old_state, total / count)
+
+    def on_marker(self, new_state, key, m: Marker, emit):
+        if new_state != float("-inf"):
+            emit(key, (new_state, m.timestamp - 1))
+
+
+class Sessionize(OpKeyedOrdered):
+    """Per-key session windows over timestamped values.
+
+    Values are ``(payload, ts)`` pairs in per-key timestamp order (an
+    ``O`` stream — put ``SORT`` in front).  A gap larger than
+    ``gap`` closes the session; the operator then emits
+    ``(start_ts, end_ts, [payloads])``.  The final open session is
+    flushed by the watermark: a marker whose timestamp exceeds the last
+    event by more than ``gap`` proves the session cannot grow.
+    """
+
+    name = "sessionize"
+
+    def __init__(self, gap: int, name: str = "sessionize"):
+        if gap < 1:
+            raise ValueError("session gap must be positive")
+        self._gap = gap
+        self.name = name
+
+    def init(self):
+        return None  # or (start_ts, last_ts, [payloads])
+
+    def on_item(self, state, key, value, emit):
+        payload, ts = value
+        if state is None:
+            return (ts, ts, [payload])
+        start, last, payloads = state
+        if ts - last > self._gap:
+            emit(key, (start, last, tuple(payloads)))
+            return (ts, ts, [payload])
+        return (start, max(last, ts), payloads + [payload])
+
+    def on_marker(self, state, key, m: Marker, emit):
+        if state is None:
+            return None
+        start, last, payloads = state
+        if m.timestamp - last > self._gap:
+            emit(key, (start, last, tuple(payloads)))
+            return None
+        return state
+
+
+# ----------------------------------------------------------------------
+# Keyed ordered adapter.
+# ----------------------------------------------------------------------
+
+
+class KeyedSequenceOp(OpKeyedOrdered):
+    """Adapter: build an ``OpKeyedOrdered`` from a per-key step function.
+
+    ``step(state, value) -> (new_state, [output values])`` is called for
+    each value of a key in order; outputs keep the key (the template's
+    restriction).  ``marker_step(state, ts) -> (new_state, [outputs])`` is
+    optional.
+    """
+
+    def __init__(
+        self,
+        initial: Callable[[], Any],
+        step: Callable[[Any, Any], Tuple[Any, List[Any]]],
+        marker_step: Optional[Callable[[Any, Any], Tuple[Any, List[Any]]]] = None,
+        name: str = "keyedSeq",
+    ):
+        self._initial = initial
+        self._step = step
+        self._marker_step = marker_step
+        self.name = name
+
+    def init(self):
+        return self._initial()
+
+    def on_item(self, state, key, value, emit):
+        new_state, outputs = self._step(state, value)
+        for out in outputs:
+            emit(key, out)
+        return new_state
+
+    def on_marker(self, state, key, m: Marker, emit):
+        if self._marker_step is None:
+            return state
+        new_state, outputs = self._marker_step(state, m.timestamp)
+        for out in outputs:
+            emit(key, out)
+        return new_state

@@ -1,0 +1,63 @@
+"""The between-marker sorting operator ``SORT`` (Section 4).
+
+``SORT< : U(K, V) -> O(K, V)`` imposes, for every key separately, the
+linear order ``<`` on the key-value pairs between consecutive markers.
+It is the bridge from unordered to ordered streams: after parallel
+stages reorder between-marker items arbitrarily, applying ``SORT``
+immediately before an order-sensitive stage restores the per-key view
+(the ``Sort-LI`` idea of Section 2 and the SORT stages of Figures 1/5).
+
+Implementation: buffer each key's items of the current block; on a
+marker, flush every key's buffer in sorted order, then forward the
+marker.  The output is well-defined as an ``O(K, V)`` trace because the
+flushed order depends only on the block's *bag* of items (ties broken by
+the stable sort on the full sort key).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.operators.base import Event, KV, Marker, Operator
+
+
+class SortOp(Operator):
+    """``SORT``: per-key, between-marker sorting by a value sort key.
+
+    Parameters
+    ----------
+    sort_key:
+        ``value -> comparable``; defaults to the identity (sort by the
+        values themselves).  For timestamped values pass e.g.
+        ``lambda v: v.ts``; to guarantee a canonical order under
+        duplicate sort keys the full value is appended as a ``repr``
+        tiebreak.
+    """
+
+    name = "SORT"
+    input_kind = None  # accepts U (the common case) or O
+    output_kind = "O"
+
+    def __init__(self, sort_key: Optional[Callable[[Any], Any]] = None, name: str = ""):
+        self.sort_key = sort_key or (lambda value: value)
+        if name:
+            self.name = name
+
+    def initial_state(self) -> Dict[Any, List[Any]]:
+        return {}
+
+    def handle(self, state: Dict[Any, List[Any]], event: Event) -> List[Event]:
+        if isinstance(event, Marker):
+            out: List[Event] = []
+            for key in sorted(state, key=repr):
+                values = state[key]
+                values.sort(key=lambda v: (self._cmp(v)))
+                out.extend(KV(key, value) for value in values)
+            state.clear()
+            out.append(event)
+            return out
+        state.setdefault(event.key, []).append(event.value)
+        return []
+
+    def _cmp(self, value: Any):
+        return (self.sort_key(value), repr(value))

@@ -1,0 +1,127 @@
+"""Stream splitters: round-robin ``RR`` and key-hash ``HASH`` (Section 4).
+
+A *splitter* partitions one input stream into ``n`` output streams such
+that splitting followed by ``MRG`` is the identity transduction.  Both
+splitters broadcast every synchronization marker to all output channels —
+that is what lets downstream merges re-align the substreams.
+
+- :class:`RoundRobinSplit` (``RR``): ``U(K,V) -> U(K,V)^n``.  Key-value
+  pairs go to output channels cyclically.  Only sound for unordered
+  streams (it separates same-key items arbitrarily).
+- :class:`HashSplit` (``HASH``): ``U(K,V) -> U(K_0,V) x .. x U(K_{n-1},V)``
+  and likewise for ``O``.  A pair with key ``k`` goes to channel
+  ``hash(k) mod n``, so each key's items stay on one channel — this is
+  what makes keyed operators parallelizable (Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.operators.base import Event, KV, Marker
+
+
+def default_key_hash(key: Any) -> int:
+    """Deterministic key hash used by ``HASH`` (stable across runs).
+
+    Python's built-in ``hash`` is randomized for strings between
+    interpreter runs; experiments need stable routing, so strings hash via
+    a simple FNV-1a over their UTF-8 bytes and other values fall back to
+    ``hash``.
+    """
+    if isinstance(key, str):
+        h = 0xCBF29CE484222325
+        for byte in key.encode("utf-8"):
+            h = ((h ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return h
+    if isinstance(key, tuple):
+        h = 0x345678
+        for part in key:
+            h = (h * 1000003) ^ default_key_hash(part)
+        return h & 0xFFFFFFFFFFFFFFFF
+    return hash(key)
+
+
+class Splitter:
+    """Base class: single input, ``n_outputs`` output channels.
+
+    ``handle`` returns ``(channel, event)`` pairs.  Markers are always
+    broadcast to every channel.
+    """
+
+    name = "SPLIT"
+    #: Whether the splitter is only sound on unordered streams (RR).
+    requires_unordered = False
+
+    def __init__(self, n_outputs: int, name: str = ""):
+        if n_outputs < 1:
+            raise ValueError("splitter requires at least one output channel")
+        self.n_outputs = n_outputs
+        if name:
+            self.name = name
+
+    def initial_state(self) -> Any:
+        return None
+
+    def route(self, state: Any, event: KV) -> int:
+        """Pick the output channel for one key-value pair."""
+        raise NotImplementedError
+
+    def handle(self, state: Any, event: Event) -> List[Tuple[int, Event]]:
+        if isinstance(event, Marker):
+            return [(channel, event) for channel in range(self.n_outputs)]
+        return [(self.route(state, event), event)]
+
+    def label(self) -> str:
+        return self.name
+
+    def __repr__(self):
+        return f"<{self.name} 1->{self.n_outputs}>"
+
+
+class RoundRobinSplit(Splitter):
+    """``RR``: cycle key-value pairs across output channels.
+
+    Only sound on unordered streams: it separates same-key items onto
+    different channels, destroying any per-key order (the type checker
+    rejects RR on ``O`` edges — the Section 2 soundness issue).
+    """
+
+    requires_unordered = True
+
+    def __init__(self, n_outputs: int):
+        super().__init__(n_outputs, name=f"RR{n_outputs}")
+
+    def initial_state(self) -> List[int]:
+        return [0]
+
+    def route(self, state: List[int], event: KV) -> int:
+        channel = state[0]
+        state[0] = (channel + 1) % self.n_outputs
+        return channel
+
+
+class HashSplit(Splitter):
+    """``HASH``: route each key-value pair by ``hash(key) mod n``."""
+
+    def __init__(self, n_outputs: int, key_hash: Optional[Callable[[Any], int]] = None):
+        super().__init__(n_outputs, name=f"H{n_outputs}")
+        self.key_hash = key_hash or default_key_hash
+
+    def route(self, state: Any, event: KV) -> int:
+        return self.key_hash(event.key) % self.n_outputs
+
+
+class UnqSplit(Splitter):
+    """``UNQ``: send the whole stream to a single target instance.
+
+    The counterpart of Storm's *global grouping*, used in the Figure 3 and
+    Figure 5 deployments in front of non-parallelizable stages (SINK).
+    Markers are still broadcast so that every instance stays aligned.
+    """
+
+    def __init__(self, n_outputs: int = 1):
+        super().__init__(n_outputs, name="UNQ")
+
+    def route(self, state: Any, event: KV) -> int:
+        return 0

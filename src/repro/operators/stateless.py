@@ -1,0 +1,70 @@
+"""The ``OpStateless`` template (Table 1): ``U(K, V) -> U(L, W)``.
+
+Only the current event — never the input history — determines the output.
+The programmer overrides :meth:`OpStateless.on_item` and (optionally)
+:meth:`OpStateless.on_marker`; both may emit output key-value pairs via
+the supplied emitter and nothing else.  Because there is no state, any
+interleaving of between-marker items yields the same bag of outputs per
+block, which is exactly (U, U)-consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.operators.base import KV, Emitter, Event, Marker, Operator
+
+
+class OpStateless(Operator):
+    """Stateless transduction ``U(K, V) -> U(L, W)``.
+
+    Override :meth:`on_item` (required) and :meth:`on_marker` (optional —
+    stateless marker output is rarely meaningful but the template allows
+    it, e.g. for heartbeat enrichment).  The runtime forwards each marker
+    downstream after :meth:`on_marker` returns.
+    """
+
+    input_kind = "U"
+    output_kind = "U"
+
+    def initial_state(self) -> Emitter:
+        # The only "state" is a reusable emitter buffer.
+        return Emitter()
+
+    def on_item(self, key: Any, value: Any, emit: Callable[[Any, Any], None]) -> None:
+        """Process one key-value pair; emit any number of output pairs."""
+        raise NotImplementedError
+
+    def on_marker(self, m: Marker, emit: Callable[[Any, Any], None]) -> None:
+        """Process one marker (output only; the marker itself is forwarded
+        automatically)."""
+
+    def handle(self, state: Emitter, event: Event) -> List[Event]:
+        if isinstance(event, Marker):
+            self.on_marker(event, state.emit)
+            out: List[Event] = list(state.drain())
+            out.append(event)
+            return out
+        self.on_item(event.key, event.value, state.emit)
+        return list(state.drain())
+
+
+class StatelessFn(OpStateless):
+    """Adapter: build an ``OpStateless`` from a plain function.
+
+    ``fn(key, value)`` returns an iterable of output ``(key, value)``
+    pairs (or ``None`` for no output).  Convenient for map/filter stages:
+
+    >>> double = StatelessFn(lambda k, v: [(k, 2 * v)], name="double")
+    """
+
+    def __init__(self, fn: Callable[[Any, Any], Optional[Any]], name: str = ""):
+        self._fn = fn
+        self.name = name or "StatelessFn"
+
+    def on_item(self, key, value, emit):
+        result = self._fn(key, value)
+        if result is None:
+            return
+        for out_key, out_value in result:
+            emit(out_key, out_value)

@@ -1,0 +1,122 @@
+"""Template validation helpers.
+
+Theorem 4.2's guarantee rests on side conditions the templates cannot
+enforce statically in Python: ``combine`` must be associative and
+commutative, the pure functions must actually be pure, and
+``OpKeyedOrdered`` emissions must preserve keys (that one *is* enforced
+at runtime).  :func:`validate_operator` spot-checks what can be checked:
+
+- for :class:`OpKeyedUnordered` / :class:`OpSlidingWindow` subclasses,
+  the monoid laws on aggregates derived from sample events;
+- for any operator, Definition 3.5 consistency over random
+  dependence-respecting shuffles of sample streams.
+
+It raises :class:`~repro.errors.ConsistencyError` with a concrete
+witness on failure, and is cheap enough to run in CI for every operator
+a project defines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.errors import ConsistencyError
+from repro.operators.base import Event, KV, Marker, Operator
+from repro.operators.keyed_unordered import CommutativeMonoid, OpKeyedUnordered
+from repro.traces.blocks import BlockTrace
+
+
+def _sample_aggregates(operator: OpKeyedUnordered, events: Sequence[Event]):
+    """Monoid elements reachable from the sample events."""
+    singles = [
+        operator.fold_in(e.key, e.value) for e in events if isinstance(e, KV)
+    ]
+    samples = [operator.identity()] + singles[:4]
+    # A few combined elements widen the law check beyond singletons.
+    acc = operator.identity()
+    for value in singles[:4]:
+        acc = operator.combine(acc, value)
+        samples.append(acc)
+    return samples
+
+
+def check_monoid_laws(
+    operator: OpKeyedUnordered, events: Sequence[Event]
+) -> None:
+    """Spot-check identity/associativity/commutativity of the template's
+    monoid on aggregates derived from ``events``."""
+    monoid = CommutativeMonoid(operator.identity(), operator.combine)
+    samples = _sample_aggregates(operator, events)
+    if not monoid.spot_check(samples):
+        raise ConsistencyError(
+            f"{operator.label()}: combine() violates the commutative-monoid "
+            f"laws on sampled aggregates {samples!r}"
+        )
+
+
+def shuffle_within_blocks(events: Sequence[Event], rng: random.Random) -> List[Event]:
+    """A trace-equivalent reordering of a U stream (permute each block)."""
+    result: List[Event] = []
+    block: List[Event] = []
+    for event in events:
+        if isinstance(event, Marker):
+            rng.shuffle(block)
+            result.extend(block)
+            result.append(event)
+            block = []
+        else:
+            block.append(event)
+    rng.shuffle(block)
+    result.extend(block)
+    return result
+
+
+def check_consistency_on(
+    operator: Operator,
+    events: Sequence[Event],
+    shuffles: int = 10,
+    seed: int = 0,
+    output_ordered: bool = False,
+) -> None:
+    """Definition 3.5 spot-check: equivalent (block-shuffled) inputs must
+    give trace-equivalent outputs."""
+    rng = random.Random(seed)
+    base = BlockTrace.from_events(output_ordered, operator.run(list(events)))
+    for _ in range(shuffles):
+        variant = shuffle_within_blocks(events, rng)
+        got = BlockTrace.from_events(output_ordered, operator.run(variant))
+        if got != base:
+            raise ConsistencyError(
+                f"{operator.label()}: inconsistent outputs across equivalent "
+                f"inputs\n  input A: {list(events)}\n  input B: {variant}"
+            )
+
+
+def validate_operator(
+    operator: Operator,
+    sample_events: Optional[Sequence[Event]] = None,
+    shuffles: int = 10,
+    seed: int = 0,
+    output_ordered: bool = False,
+) -> None:
+    """Run every applicable spot-check on ``operator`` (see module doc)."""
+    events = list(sample_events) if sample_events is not None else _default_events()
+    if isinstance(operator, OpKeyedUnordered):
+        check_monoid_laws(operator, events)
+    # Order-sensitive (O-input) operators are consistent only for
+    # per-key-order-preserving equivalences, which block shuffles are not;
+    # the block-shuffle consistency check applies to U-input operators.
+    if operator.input_kind != "O":
+        check_consistency_on(
+            operator, events, shuffles=shuffles, seed=seed,
+            output_ordered=output_ordered,
+        )
+
+
+def _default_events() -> List[Event]:
+    return [
+        KV("a", 3), KV("b", 1), KV("a", 2), Marker(1),
+        KV("b", 4), KV("c", 0), Marker(2),
+        KV("a", 5), Marker(3),
+    ]

@@ -1,0 +1,141 @@
+"""Efficient sliding-window aggregation algorithms.
+
+The paper's conclusion proposes "a specialized template [for
+sliding-window aggregation that] would relieve the programmer from the
+burden of re-discovering and re-implementing efficient sliding-window
+algorithms", citing the two-stacks / DABA line of work (Tangwongsan,
+Hirzel, Schneider et al.).  This module implements that substrate:
+
+- :class:`TwoStacksAggregator` — the classic two-stacks trick: amortized
+  O(1) ``insert``/``evict``/``query`` for *any* associative operation —
+  no invertibility required (so ``max``/``min`` windows are O(1) too).
+- :class:`RecomputeAggregator` — the naive O(window) baseline, kept as
+  the correctness oracle and the ablation baseline.
+- :class:`SlidingWindowAggregator` — the common interface.
+
+Both maintain a FIFO window of values over a monoid given as
+``(identity, combine)`` with ``combine`` associative (commutativity NOT
+required — windows are order-sensitive in general).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class SlidingWindowAggregator:
+    """Interface: FIFO window with monoid aggregation."""
+
+    def __init__(self, identity: Any, combine: Callable[[Any, Any], Any]):
+        self.identity = identity
+        self.combine = combine
+
+    def insert(self, value: Any) -> None:
+        """Append one value at the window's young end."""
+        raise NotImplementedError
+
+    def evict(self) -> Any:
+        """Remove and return the oldest value."""
+        raise NotImplementedError
+
+    def query(self) -> Any:
+        """The fold of the window's contents, oldest-to-youngest."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class RecomputeAggregator(SlidingWindowAggregator):
+    """O(n)-per-query baseline: store the window, fold on demand."""
+
+    def __init__(self, identity, combine):
+        super().__init__(identity, combine)
+        self._window: List[Any] = []
+
+    def insert(self, value):
+        self._window.append(value)
+
+    def evict(self):
+        if not self._window:
+            raise IndexError("evict from an empty window")
+        return self._window.pop(0)
+
+    def query(self):
+        acc = self.identity
+        for value in self._window:
+            acc = self.combine(acc, value)
+        return acc
+
+    def __len__(self):
+        return len(self._window)
+
+
+class TwoStacksAggregator(SlidingWindowAggregator):
+    """Two-stacks sliding-window aggregation: amortized O(1) per op.
+
+    The window is split into a *front* stack (older items, stored with
+    suffix aggregates toward the window's old end) and a *back* stack
+    (younger items, with a single running prefix aggregate).  ``query``
+    combines the front's top aggregate with the back aggregate; ``evict``
+    pops the front, flipping the back over when the front runs dry.
+    Every element is moved at most once from back to front, giving the
+    amortized bound for any associative ``combine``.
+    """
+
+    def __init__(self, identity, combine):
+        super().__init__(identity, combine)
+        # front: list of (value, aggregate of this value and everything
+        # *younger within the front*, i.e. toward the flip point) —
+        # stored so front[i] aggregates front[i:] in window order.
+        self._front: List[Any] = []          # values, oldest at the end
+        self._front_aggs: List[Any] = []     # agg of front[i] .. front[-1]? see _flip
+        self._back: List[Any] = []
+        self._back_agg: Any = identity
+
+    def insert(self, value):
+        self._back.append(value)
+        self._back_agg = self.combine(self._back_agg, value)
+
+    def evict(self):
+        if not self._front:
+            self._flip()
+        if not self._front:
+            raise IndexError("evict from an empty window")
+        self._front_aggs.pop()
+        return self._front.pop()
+
+    def query(self):
+        front_agg = self._front_aggs[-1] if self._front_aggs else self.identity
+        return self.combine(front_agg, self._back_agg)
+
+    def __len__(self):
+        return len(self._front) + len(self._back)
+
+    def _flip(self):
+        """Move the back stack into the front, computing suffix
+        aggregates so that ``front_aggs[-1]`` always aggregates the whole
+        front in window order."""
+        acc = self.identity
+        # back[0] is the oldest of the back; it must end on top of the
+        # front (evicted first), carrying the aggregate of the entire
+        # flipped segment in window order.
+        for value in reversed(self._back):
+            acc = self.combine(value, acc)
+            self._front.append(value)
+            self._front_aggs.append(acc)
+        self._back.clear()
+        self._back_agg = self.identity
+
+
+def make_aggregator(
+    identity: Any,
+    combine: Callable[[Any, Any], Any],
+    algorithm: str = "two-stacks",
+) -> SlidingWindowAggregator:
+    """Factory: ``"two-stacks"`` (default) or ``"recompute"``."""
+    if algorithm == "two-stacks":
+        return TwoStacksAggregator(identity, combine)
+    if algorithm == "recompute":
+        return RecomputeAggregator(identity, combine)
+    raise ValueError(f"unknown sliding-window algorithm {algorithm!r}")

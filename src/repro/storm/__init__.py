@@ -1,0 +1,78 @@
+"""A Storm-like distributed stream processing platform (Section 5 substrate).
+
+This package substitutes for Apache Storm: topologies of spouts and bolts
+with groupings, executed on a simulated cluster.  The simulator executes
+*real* operator code — outputs are genuine — while time (CPU cost per
+tuple, network transfer between machines, queueing) is modelled by a
+discrete-event engine, so throughput experiments are reproducible on a
+laptop and interleaving nondeterminism is seeded.
+
+- :mod:`repro.storm.tuples` — tuples in flight.
+- :mod:`repro.storm.topology` — ``TopologyBuilder``, spouts, bolts.
+- :mod:`repro.storm.groupings` — shuffle / fields / global / broadcast /
+  custom groupings.
+- :mod:`repro.storm.cluster` — machines and task placement.
+- :mod:`repro.storm.costs` — cost models (per-tuple CPU, network).
+- :mod:`repro.storm.simulator` — the discrete-event engine.
+- :mod:`repro.storm.local` — convenience runner for correctness-only
+  executions.
+"""
+
+from repro.storm.tuples import StormTuple
+from repro.storm.topology import (
+    Topology,
+    TopologyBuilder,
+    Spout,
+    IteratorSpout,
+    Bolt,
+    CaptureBolt,
+    OutputCollector,
+)
+from repro.storm.groupings import (
+    Grouping,
+    ShuffleGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    BroadcastGrouping,
+    MarkerAwareGrouping,
+)
+from repro.storm.cluster import (
+    Cluster,
+    Machine,
+    Placement,
+    round_robin_placement,
+    packed_placement,
+    aligned_placement,
+)
+from repro.storm.costs import CostModel, UniformCostModel, PerComponentCostModel
+from repro.storm.simulator import Simulator, SimulationReport
+from repro.storm.local import LocalRunner
+
+__all__ = [
+    "StormTuple",
+    "Topology",
+    "TopologyBuilder",
+    "Spout",
+    "IteratorSpout",
+    "Bolt",
+    "CaptureBolt",
+    "OutputCollector",
+    "Grouping",
+    "ShuffleGrouping",
+    "FieldsGrouping",
+    "GlobalGrouping",
+    "BroadcastGrouping",
+    "MarkerAwareGrouping",
+    "Cluster",
+    "Machine",
+    "Placement",
+    "round_robin_placement",
+    "packed_placement",
+    "aligned_placement",
+    "CostModel",
+    "UniformCostModel",
+    "PerComponentCostModel",
+    "Simulator",
+    "SimulationReport",
+    "LocalRunner",
+]

@@ -1,0 +1,401 @@
+"""Discrete-event simulation of a topology on a cluster.
+
+The engine executes *real* spout/bolt code, so outputs are genuine; only
+time is simulated.  The model:
+
+- every machine has ``cores`` cores; a core executes one tuple at a time;
+- every task (component instance) is single-threaded: its tuples are
+  processed serially in arrival order;
+- processing a tuple costs ``framework_overhead + cpu_cost(component,
+  event)`` seconds on a core;
+- a tuple emitted at time *t* arrives at a consumer task at
+  ``t + network_delay(src_machine, dst_machine)``, with seeded jitter on
+  remote hops — jitter (plus shuffle-grouping randomness) is the source
+  of interleaving nondeterminism, so a seed sweep explores the
+  "arbitrary interleavings imposed by the network" of Section 2;
+- spout tasks and capture sinks live on an unbounded implicit host by
+  default (see :mod:`repro.storm.cluster`), so the 1..N worker machines
+  measure the processing stages, as in the paper's experiments.
+
+The simulation drains the workload to completion; *makespan* is the time
+the last tuple finishes anywhere, and throughput = data tuples injected /
+makespan.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from collections import deque
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.operators.base import Event, KV, Marker
+from repro.storm.cluster import Cluster, Placement, round_robin_placement
+from repro.storm.costs import CostModel, UniformCostModel
+from repro.storm.groupings import Grouping
+from repro.storm.topology import CaptureBolt, OutputCollector, Spout, Topology
+from repro.storm.tuples import StormTuple
+
+TaskKey = Tuple[str, int]
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one simulated run."""
+
+    makespan: float
+    input_data_tuples: int
+    input_all_tuples: int
+    processed: Dict[str, int]
+    emitted: Dict[str, int]
+    #: events delivered to each CaptureBolt component, in delivery order.
+    sink_events: Dict[str, List[Event]]
+    #: delivered (event, src_component, src_task) per sink, for provenance checks.
+    sink_tuples: Dict[str, List[StormTuple]]
+    #: simulated delivery time of each sink tuple (parallel to sink_events).
+    sink_delivery_times: Dict[str, List[float]]
+    #: per marker timestamp: simulated time of first spout emission.
+    marker_emit_times: Dict[Any, float]
+    #: per machine id: total core-seconds of CPU charged.
+    machine_busy: Dict[int, float]
+    #: cores per machine id (for utilization).
+    machine_cores: Dict[int, int]
+
+    def throughput(self) -> float:
+        """Input data tuples per simulated second."""
+        if self.makespan <= 0:
+            return float("inf")
+        return self.input_data_tuples / self.makespan
+
+    def utilization(self, machine_id: int) -> float:
+        """Fraction of the machine's core-time spent busy over the run."""
+        if self.makespan <= 0:
+            return 0.0
+        capacity = self.machine_cores.get(machine_id, 0) * self.makespan
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.machine_busy.get(machine_id, 0.0) / capacity)
+
+    def mean_utilization(self) -> float:
+        """Average utilization over the worker machines."""
+        machines = [m for m in self.machine_cores if m >= 0]
+        if not machines:
+            return 0.0
+        return sum(self.utilization(m) for m in machines) / len(machines)
+
+    def marker_latencies(self, sink: str) -> Dict[Any, float]:
+        """End-to-end latency per marker timestamp at a sink.
+
+        Latency of timestamp ``t`` = time of the *last* delivery of a
+        ``t``-marker to the sink (when alignment completes) minus the
+        time a spout first emitted it.  The marker traverses every stage,
+        so this is the pipeline's synchronization latency."""
+        last_arrival: Dict[Any, float] = {}
+        for time, tup in zip(self.sink_delivery_times[sink], self.sink_tuples[sink]):
+            if isinstance(tup.event, Marker):
+                last_arrival[tup.event.timestamp] = time
+        return {
+            ts: arrival - self.marker_emit_times.get(ts, 0.0)
+            for ts, arrival in last_arrival.items()
+        }
+
+
+class _TaskRuntime:
+    """Mutable per-task execution state."""
+
+    __slots__ = (
+        "component",
+        "index",
+        "machine",
+        "is_spout",
+        "payload",
+        "state",
+        "free_at",
+        "groupings",
+        "collector",
+        "queue",
+        "running",
+    )
+
+    def __init__(self, component, index, machine, is_spout, payload, state):
+        self.component = component
+        self.index = index
+        self.machine = machine
+        self.is_spout = is_spout
+        self.payload = payload
+        self.state = state
+        self.free_at = 0.0
+        # downstream component -> per-sender grouping instance
+        self.groupings: Dict[str, Grouping] = {}
+        self.collector = OutputCollector()
+        # FIFO of pending (tuple, remote) deliveries; `running` marks an
+        # in-flight execution (a scheduled "done" event).
+        self.queue: "deque" = deque()
+        self.running = False
+
+
+class Simulator:
+    """Run a topology on a simulated cluster.
+
+    Parameters
+    ----------
+    topology: the component graph.
+    cluster: worker machines (see :class:`Cluster`).
+    cost_model: CPU/network costs; default charges 1 us per tuple.
+    placement: task->machine map; defaults to round-robin with sources
+        and capture sinks offloaded.
+    seed: RNG seed controlling shuffle groupings and network jitter.
+    max_events: safety valve against runaway topologies.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cluster: Cluster,
+        cost_model: Optional[CostModel] = None,
+        placement: Optional[Placement] = None,
+        seed: int = 0,
+        max_events: int = 50_000_000,
+    ):
+        topology.validate()
+        self.topology = topology
+        self.cluster = cluster
+        self.cost_model = cost_model or UniformCostModel()
+        self.placement = placement or round_robin_placement(topology, cluster)
+        self.seed = seed
+        self.max_events = max_events
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationReport:
+        rng = random.Random(self.seed)
+        tasks: Dict[TaskKey, _TaskRuntime] = {}
+        downstream: Dict[str, List[str]] = {}
+        for spec in self.topology.components.values():
+            downstream[spec.name] = [
+                name for name, _ in self.topology.downstream_of(spec.name)
+            ]
+
+        # Instantiate tasks.
+        for spec in self.topology.components.values():
+            for index in range(spec.parallelism):
+                machine = self.placement.machine_of(spec.name, index)
+                if spec.is_spout:
+                    spout: Spout = copy.copy(spec.payload)
+                    spout.open(index, spec.parallelism)
+                    runtime = _TaskRuntime(
+                        spec.name, index, machine, True, spout, None
+                    )
+                else:
+                    state = spec.payload.prepare(index, spec.parallelism)
+                    runtime = _TaskRuntime(
+                        spec.name, index, machine, False, spec.payload, state
+                    )
+                # Per-sender grouping instances for each downstream bolt.
+                for consumer, grouping in self.topology.downstream_of(spec.name):
+                    instance = copy.deepcopy(grouping)
+                    instance.bind(random.Random(rng.randrange(2**62)))
+                    runtime.groupings[consumer] = instance
+                tasks[(spec.name, index)] = runtime
+
+        # Per-machine core availability heaps (source host unbounded).
+        core_free: Dict[int, List[float]] = {}
+        for machine in self.cluster.machines:
+            core_free[machine.machine_id] = [0.0] * machine.cores
+
+        heap: List[Tuple[float, int, str, TaskKey, Optional[StormTuple], bool]] = []
+        seq = itertools.count()
+
+        def schedule(time: float, action: str, task: TaskKey, tup=None,
+                     remote: bool = False):
+            heapq.heappush(heap, (time, next(seq), action, task, tup, remote))
+
+        # Kick off all spout tasks at t=0.
+        for key, runtime in tasks.items():
+            if runtime.is_spout:
+                schedule(0.0, "spout", key)
+
+        processed: Dict[str, int] = {name: 0 for name in self.topology.components}
+        emitted: Dict[str, int] = {name: 0 for name in self.topology.components}
+        sink_deliveries: Dict[str, List[Tuple[float, int, StormTuple]]] = {
+            spec.name: []
+            for spec in self.topology.components.values()
+            if isinstance(spec.payload, CaptureBolt)
+        }
+        marker_emit_times: Dict[Any, float] = {}
+        machine_busy: Dict[int, float] = {}
+        input_data = 0
+        input_all = 0
+        makespan = 0.0
+        events_handled = 0
+
+        def begin_processing(runtime: _TaskRuntime, ready_time: float) -> float:
+            """Account core + task availability; return the start time.
+
+            Used by the spout path, whose emissions are self-paced (the
+            ready time *is* when the task wants the core, so reserving
+            at pop time is accurate)."""
+            start = max(ready_time, runtime.free_at)
+            cores = core_free.get(runtime.machine)
+            if cores is not None:
+                earliest = heapq.heappop(cores)
+                start = max(start, earliest)
+            return start
+
+        def finish_processing(runtime: _TaskRuntime, finish: float) -> None:
+            runtime.free_at = finish
+            cores = core_free.get(runtime.machine)
+            if cores is not None:
+                heapq.heappush(cores, finish)
+
+        def execution_cost(runtime: _TaskRuntime, tup: StormTuple, remote: bool) -> float:
+            cost = self.cost_model.framework_overhead
+            if remote:
+                cost += self.cost_model.remote_cpu
+            payload = runtime.payload
+            if hasattr(payload, "cost_events"):
+                # Compiled bolts report per-vertex work, so cardinality
+                # changes inside a fused chain are charged faithfully.
+                cost += self.cost_model.glue_cost(runtime.component, tup.event)
+                for vertex, events in payload.cost_events(runtime.state):
+                    for event in events:
+                        cost += self.cost_model.vertex_cost(
+                            vertex, event, runtime.index
+                        )
+            else:
+                cost += self.cost_model.cpu_cost(
+                    runtime.component, tup.event, runtime.index
+                )
+            return cost
+
+        def maybe_start(runtime: _TaskRuntime, now: float) -> None:
+            """Begin the task's next queued tuple if it is idle.
+
+            The core is reserved only when the task actually starts — a
+            task waiting on its own serial stream must not hold cores
+            hostage (that would serialize co-located pipeline stages)."""
+            nonlocal makespan
+            if runtime.running or not runtime.queue:
+                return
+            tup, was_remote = runtime.queue.popleft()
+            start = now
+            cores = core_free.get(runtime.machine)
+            if cores is not None:
+                earliest = heapq.heappop(cores)
+                start = max(start, earliest)
+            runtime.payload.execute(runtime.state, tup, runtime.collector)
+            outputs = runtime.collector.drain()
+            cost = execution_cost(runtime, tup, was_remote)
+            finish = start + cost
+            machine_busy[runtime.machine] = (
+                machine_busy.get(runtime.machine, 0.0) + cost
+            )
+            if cores is not None:
+                heapq.heappush(cores, finish)
+            runtime.free_at = finish
+            runtime.running = True
+            makespan = max(makespan, finish)
+            processed[runtime.component] += 1
+            route(runtime, outputs, finish)
+            schedule(finish, "done", (runtime.component, runtime.index))
+
+        # FIFO per link: Storm guarantees in-order delivery between a fixed
+        # producer task and consumer task; jittered delays must never
+        # reorder tuples on the same link.
+        link_clock: Dict[Tuple[TaskKey, TaskKey], float] = {}
+
+        def route(runtime: _TaskRuntime, events: List[Event], at: float) -> None:
+            nonlocal makespan
+            src_key = (runtime.component, runtime.index)
+            for event in events:
+                emitted[runtime.component] += 1
+                tup = StormTuple(event, runtime.component, runtime.index)
+                for consumer in downstream[runtime.component]:
+                    grouping = runtime.groupings[consumer]
+                    n_tasks = self.topology.components[consumer].parallelism
+                    for target in grouping.select(event, n_tasks):
+                        dst_key = (consumer, target)
+                        dst = tasks[dst_key]
+                        delay = self.cost_model.network_delay(
+                            runtime.machine, dst.machine, rng
+                        )
+                        arrival = at + delay
+                        link = (src_key, dst_key)
+                        floor = link_clock.get(link, 0.0)
+                        arrival = max(arrival, floor)
+                        link_clock[link] = arrival
+                        schedule(
+                            arrival, "deliver", dst_key, tup,
+                            remote=runtime.machine != dst.machine,
+                        )
+
+        while heap:
+            events_handled += 1
+            if events_handled > self.max_events:
+                raise SimulationError("simulation exceeded max_events; runaway?")
+            time_now, _, action, task_key, tup, remote = heapq.heappop(heap)
+            runtime = tasks[task_key]
+
+            if action == "spout":
+                alive = runtime.payload.next_tuple(runtime.collector)
+                outputs = runtime.collector.drain()
+                cost = sum(
+                    self.cost_model.spout_cost(runtime.component, e) for e in outputs
+                )
+                start = begin_processing(runtime, time_now)
+                finish = start + cost
+                finish_processing(runtime, finish)
+                makespan = max(makespan, finish)
+                for event in outputs:
+                    input_all += 1
+                    if isinstance(event, KV):
+                        input_data += 1
+                    elif isinstance(event, Marker):
+                        marker_emit_times.setdefault(event.timestamp, finish)
+                route(runtime, outputs, finish)
+                if alive:
+                    schedule(finish, "spout", task_key)
+                continue
+
+            if action == "deliver":
+                assert tup is not None
+                if runtime.component in sink_deliveries:
+                    sink_deliveries[runtime.component].append(
+                        (time_now, runtime.index, tup)
+                    )
+                runtime.queue.append((tup, remote))
+            else:  # "done": the running execution finished
+                runtime.running = False
+            maybe_start(runtime, time_now)
+
+        sink_events = {
+            name: [t.event for _, _, t in deliveries]
+            for name, deliveries in sink_deliveries.items()
+        }
+        sink_tuples = {
+            name: [t for _, _, t in deliveries]
+            for name, deliveries in sink_deliveries.items()
+        }
+        sink_delivery_times = {
+            name: [time for time, _, _ in deliveries]
+            for name, deliveries in sink_deliveries.items()
+        }
+        return SimulationReport(
+            makespan=makespan,
+            input_data_tuples=input_data,
+            input_all_tuples=input_all,
+            processed=processed,
+            emitted=emitted,
+            sink_events=sink_events,
+            sink_tuples=sink_tuples,
+            sink_delivery_times=sink_delivery_times,
+            marker_emit_times=marker_emit_times,
+            machine_busy=machine_busy,
+            machine_cores={
+                m.machine_id: m.cores for m in self.cluster.machines
+            },
+        )

@@ -1,0 +1,62 @@
+"""The data-trace formal model of Section 3 of the paper.
+
+A *data type* ``A = (Sigma, (T_sigma))`` pairs a tag alphabet with a value
+type per tag; a *dependence relation* ``D`` is a symmetric binary relation
+on tags; a *data-trace type* ``X = (A, D)`` induces the congruence ``=_D``
+on item sequences (commute adjacent items with independent tags), and a
+*data trace* is an equivalence class of that congruence.
+
+Public surface:
+
+- :class:`Tag`, :data:`MARKER` — tags and the distinguished marker tag.
+- :class:`DataType` — tag alphabet plus per-tag value validators.
+- :class:`DependenceRelation` — symmetric relations with constructors for
+  the common shapes (full / empty / chain / keyed).
+- :class:`DataTraceType` — a data type plus dependence relation, with
+  the practical constructors :func:`unordered_type` (``U(K, V)``) and
+  :func:`ordered_type` (``O(K, V)``) of Section 4.
+- :class:`Item`, :func:`marker` — tagged data items.
+- :class:`DataTrace` — canonical-form traces with concatenation, prefix
+  order, residuals, and equivalence.
+- :class:`Pomset` — the partial-order view of a trace.
+- :mod:`repro.traces.blocks` — the cheap marker-delimited block
+  representation used by the runtime for ``U``/``O`` traces.
+"""
+
+from repro.traces.tags import Tag, MARKER, DataType
+from repro.traces.dependence import DependenceRelation
+from repro.traces.items import Item, marker, is_marker
+from repro.traces.trace_type import (
+    DataTraceType,
+    unordered_type,
+    ordered_type,
+    sequence_type,
+    bag_type,
+    channels_type,
+)
+from repro.traces.normal_form import lex_normal_form, foata_normal_form
+from repro.traces.trace import DataTrace
+from repro.traces.pomset import Pomset
+from repro.traces.blocks import BlockTrace, Block
+
+__all__ = [
+    "Tag",
+    "MARKER",
+    "DataType",
+    "DependenceRelation",
+    "Item",
+    "marker",
+    "is_marker",
+    "DataTraceType",
+    "unordered_type",
+    "ordered_type",
+    "sequence_type",
+    "bag_type",
+    "channels_type",
+    "lex_normal_form",
+    "foata_normal_form",
+    "DataTrace",
+    "Pomset",
+    "BlockTrace",
+    "Block",
+]

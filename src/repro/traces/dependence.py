@@ -1,0 +1,180 @@
+"""Dependence relations over tag alphabets.
+
+A dependence relation ``D`` is a *symmetric* binary relation on tags
+(Section 3.1).  Two tags are *independent* when the pair is absent from
+``D``; adjacent items with independent tags commute, which generates the
+trace equivalence ``=_D``.
+
+Because tag alphabets may be infinite (key-indexed tags), a
+:class:`DependenceRelation` is represented semi-intensionally: a finite
+set of explicit pairs plus optional rules (`same_tag_dependent`,
+`marker_dependent_on_all`) that cover infinitely many tags at once.  The
+common constructors cover every relation used in the paper:
+
+- :meth:`DependenceRelation.full` — all tags mutually dependent
+  (sequences).
+- :meth:`DependenceRelation.empty` — all tags independent (bags).
+- :meth:`DependenceRelation.keyed` — each tag dependent only on itself
+  (independent per-key channels, Examples 3.3 and 3.8).
+- :meth:`DependenceRelation.with_marker` — the Section 4 shapes: markers
+  linearly ordered and dependent on every data tag, data tags unordered
+  (``U``) or per-tag ordered (``O``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Optional, Tuple
+
+from repro.errors import DependenceError
+from repro.traces.tags import MARKER, Tag
+
+
+class DependenceRelation:
+    """A symmetric relation on tags, possibly over an infinite alphabet.
+
+    Instances are immutable.  Membership is decided by, in order:
+    an explicit pair set, the ``same_tag_dependent`` rule, the
+    ``marker_rule`` (marker dependent on everything incl. itself), and an
+    optional custom predicate.  A tag pair is *dependent* if any source
+    says so; otherwise independent.
+    """
+
+    def __init__(
+        self,
+        pairs: Iterable[Tuple[Tag, Tag]] = (),
+        same_tag_dependent: bool = False,
+        marker_rule: bool = False,
+        predicate: Optional[Callable[[Tag, Tag], bool]] = None,
+        description: str = "",
+    ):
+        explicit = set()
+        for a, b in pairs:
+            explicit.add((a, b))
+            explicit.add((b, a))
+        self._pairs: FrozenSet[Tuple[Tag, Tag]] = frozenset(explicit)
+        self._same_tag_dependent = same_tag_dependent
+        self._marker_rule = marker_rule
+        self._predicate = predicate
+        self._description = description
+
+    # ------------------------------------------------------------------
+    # Constructors for the relations used in the paper.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def full(cls, tags: Optional[Iterable[Tag]] = None) -> "DependenceRelation":
+        """All tags mutually dependent: traces degenerate to sequences.
+
+        With an explicit finite ``tags`` set the relation is the full
+        square on those tags; without it, the relation declares *every*
+        pair dependent (suitable for any alphabet).
+        """
+        if tags is None:
+            return cls(predicate=lambda a, b: True, description="full")
+        tag_list = list(tags)
+        return cls(
+            pairs=[(a, b) for a in tag_list for b in tag_list],
+            description="full",
+        )
+
+    @classmethod
+    def empty(cls) -> "DependenceRelation":
+        """All tags mutually independent: traces degenerate to bags."""
+        return cls(description="empty")
+
+    @classmethod
+    def keyed(cls) -> "DependenceRelation":
+        """Each tag dependent only on itself: independent linear channels.
+
+        This is the relation of Example 3.3 (Kahn-network channels) and of
+        the output type of key-based partitioning (Example 3.8).
+        """
+        return cls(same_tag_dependent=True, description="keyed")
+
+    @classmethod
+    def with_marker(cls, data_tags_self_dependent: bool) -> "DependenceRelation":
+        """The Section 4 relations underlying ``U(K, V)`` and ``O(K, V)``.
+
+        Markers are dependent on themselves and on every data tag; data
+        tags are mutually independent.  When ``data_tags_self_dependent``
+        each data tag additionally depends on itself (the ``O`` shape,
+        per-key order); otherwise data items between markers are fully
+        unordered (the ``U`` shape).
+        """
+
+        def predicate(a: Tag, b: Tag) -> bool:
+            if a == MARKER or b == MARKER:
+                return True
+            if data_tags_self_dependent and a == b:
+                return True
+            return False
+
+        kind = "O" if data_tags_self_dependent else "U"
+        return cls(predicate=predicate, description=f"marker-{kind}")
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def dependent(self, a: Tag, b: Tag) -> bool:
+        """Whether tags ``a`` and ``b`` are dependent."""
+        if (a, b) in self._pairs:
+            return True
+        if self._same_tag_dependent and a == b:
+            return True
+        if self._marker_rule and (a == MARKER or b == MARKER):
+            return True
+        if self._predicate is not None and (
+            self._predicate(a, b) or self._predicate(b, a)
+        ):
+            return True
+        return False
+
+    def independent(self, a: Tag, b: Tag) -> bool:
+        """Whether tags ``a`` and ``b`` are independent (not dependent)."""
+        return not self.dependent(a, b)
+
+    def restricted_to(self, tags: Iterable[Tag]) -> FrozenSet[Tuple[Tag, Tag]]:
+        """The explicit pair set of the relation restricted to finite ``tags``.
+
+        Useful for verifying symmetry and for visualization.
+        """
+        tag_list = list(tags)
+        return frozenset(
+            (a, b) for a in tag_list for b in tag_list if self.dependent(a, b)
+        )
+
+    def check_symmetric(self, tags: Iterable[Tag]) -> None:
+        """Verify symmetry on a finite tag set; raise on violation.
+
+        Symmetry is structural for the built-in constructors, but a custom
+        ``predicate`` could break it; this check guards that case.
+        """
+        tag_list = list(tags)
+        for a in tag_list:
+            for b in tag_list:
+                if self.dependent(a, b) != self.dependent(b, a):
+                    raise DependenceError(
+                        f"dependence relation is not symmetric on ({a}, {b})"
+                    )
+
+    def union(self, other: "DependenceRelation") -> "DependenceRelation":
+        """The relation declaring a pair dependent if either operand does."""
+        return DependenceRelation(
+            pairs=self._pairs | other._pairs,
+            same_tag_dependent=self._same_tag_dependent or other._same_tag_dependent,
+            marker_rule=self._marker_rule or other._marker_rule,
+            predicate=_or_predicates(self._predicate, other._predicate),
+            description=f"({self._description})|({other._description})",
+        )
+
+    def __repr__(self):
+        return f"DependenceRelation({self._description or 'custom'})"
+
+
+def _or_predicates(p, q):
+    if p is None:
+        return q
+    if q is None:
+        return p
+    return lambda a, b: p(a, b) or q(a, b)

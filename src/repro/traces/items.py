@@ -1,0 +1,79 @@
+"""Data items: tagged values, including synchronization markers.
+
+An :class:`Item` is a pair ``(tag, value)`` drawn from a data type ``A``
+(Section 3.1).  Items are immutable and hashable so they can live in bags
+and canonical forms.  A *marker* is an item with the distinguished
+:data:`~repro.traces.tags.MARKER` tag whose value is its timestamp
+(Section 4: markers are periodic, linearly ordered, and timestamped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.traces.tags import MARKER, Tag
+
+
+@dataclass(frozen=True)
+class Item:
+    """A single stream element ``(tag, value)``.
+
+    ``value`` must be hashable (tuples rather than lists, frozen dataclass
+    records rather than dicts) — canonical forms, bags, and equivalence
+    checks all hash items.
+    """
+
+    tag: Tag
+    value: Any
+
+    def is_marker(self) -> bool:
+        """Whether this item is a synchronization marker."""
+        return self.tag == MARKER
+
+    @property
+    def timestamp(self) -> Any:
+        """The timestamp of a marker item (its value)."""
+        if not self.is_marker():
+            raise AttributeError("only marker items carry a timestamp")
+        return self.value
+
+    def sort_key(self):
+        """Arbitrary-but-fixed total order on items for normal forms.
+
+        The order compares ``(tag sort key, repr of value)``: ``repr``
+        gives a total order even across heterogeneous value types, and
+        the choice of order does not affect correctness — any fixed total
+        order yields a valid canonical representative.
+        """
+        return self.tag.sort_key() + (repr(self.value),)
+
+    @property
+    def key(self) -> Any:
+        """For key-value items of the ``U``/``O`` types, the key (tag name)."""
+        return self.tag.name
+
+    def __repr__(self):
+        if self.is_marker():
+            return f"#{self.value}"
+        return f"({self.tag},{self.value!r})"
+
+
+def marker(timestamp: Any = 0) -> Item:
+    """Construct a synchronization-marker item with the given timestamp."""
+    return Item(MARKER, timestamp)
+
+
+def is_marker(item: Item) -> bool:
+    """Whether ``item`` is a synchronization marker."""
+    return item.tag == MARKER
+
+
+def kv_item(key: Any, value: Any) -> Item:
+    """Construct a key-value item whose tag is the key.
+
+    The Section 4 types ``U(K, V)`` and ``O(K, V)`` use the key set ``K``
+    itself as the tag alphabet (plus the marker tag), so a key-value pair
+    ``(k, v)`` is the item ``(Tag(k), v)``.
+    """
+    return Item(Tag(key), value)

@@ -1,0 +1,116 @@
+"""Canonical representatives of trace equivalence classes.
+
+Two item sequences are ``=_D``-equivalent iff one is reachable from the
+other by repeatedly commuting adjacent items with independent tags
+(Section 3.1).  To decide equivalence, represent traces, and hash them, we
+compute canonical representatives:
+
+- :func:`lex_normal_form` — the lexicographically least sequence in the
+  class, under the fixed total item order :meth:`Item.sort_key`.  Computed
+  greedily: at each step, among the *minimal* remaining items (those with
+  no dependent item before them), pick the least and remove it.  This is
+  the classic lexicographic normal form of Mazurkiewicz trace theory
+  (Anisimov–Knuth), which remains correct when tags may be independent of
+  themselves (identical items are interchangeable, so residuals after
+  removing either of two equal minimal occurrences coincide).
+
+- :func:`foata_normal_form` — the Foata decomposition: the unique maximal
+  sequence of "steps", each step a set of pairwise-independent items, each
+  item placed in the earliest step consistent with its dependencies.  Used
+  for visualization and as an independent oracle in tests.
+
+Both are quadratic in the worst case, which is fine for the formal layer;
+the runtime uses the specialized block representation
+(:mod:`repro.traces.blocks`) for the ``U``/``O`` types instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.traces.items import Item
+from repro.traces.trace_type import DataTraceType
+
+
+def lex_normal_form(
+    trace_type: DataTraceType, items: Sequence[Item]
+) -> Tuple[Item, ...]:
+    """Return the lexicographically least representative of ``[items]``.
+
+    Greedy algorithm: maintain the remaining sequence; a position ``i`` is
+    *available* when no earlier remaining item depends on ``items[i]``;
+    among available positions pick the one with the least
+    :meth:`Item.sort_key` (earliest such position) and emit it.
+    """
+    remaining: List[Item] = list(items)
+    out: List[Item] = []
+    dependent = trace_type.items_dependent
+    while remaining:
+        best_index = None
+        best_key = None
+        for i, candidate in enumerate(remaining):
+            blocked = False
+            for j in range(i):
+                if dependent(remaining[j], candidate):
+                    blocked = True
+                    break
+            if blocked:
+                continue
+            key = candidate.sort_key()
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = i
+        assert best_index is not None, "some unblocked item must exist"
+        out.append(remaining.pop(best_index))
+    return tuple(out)
+
+
+def foata_normal_form(
+    trace_type: DataTraceType, items: Sequence[Item]
+) -> Tuple[Tuple[Item, ...], ...]:
+    """Return the Foata decomposition of ``[items]`` as a tuple of steps.
+
+    Each item is placed in step ``1 + max(step of earlier dependent
+    items)`` (or step 0 when it depends on nothing earlier).  Within a
+    step items are sorted by :meth:`Item.sort_key`, making the
+    decomposition a canonical form: two sequences are trace-equivalent iff
+    their decompositions are equal.
+    """
+    dependent = trace_type.items_dependent
+    steps: List[List[Item]] = []
+    placed: List[Tuple[Item, int]] = []  # (item, step index), in input order
+    for item in items:
+        level = -1
+        for earlier, earlier_level in placed:
+            if dependent(earlier, item):
+                level = max(level, earlier_level)
+        level += 1
+        while len(steps) <= level:
+            steps.append([])
+        steps[level].append(item)
+        placed.append((item, level))
+    return tuple(tuple(sorted(step, key=Item.sort_key)) for step in steps)
+
+
+def random_equivalent_shuffle(
+    trace_type: DataTraceType, items: Sequence[Item], rng, swaps: int = None
+) -> List[Item]:
+    """Produce a random sequence trace-equivalent to ``items``.
+
+    Performs ``swaps`` random adjacent transpositions, each applied only
+    when the two items are independent.  With ``swaps = None`` the count
+    defaults to ``4 * len(items)``, enough to mix short sequences well.
+    Used by the consistency checker and property tests.
+    """
+    result = list(items)
+    n = len(result)
+    if n < 2:
+        return result
+    if swaps is None:
+        swaps = 4 * n
+    for _ in range(swaps):
+        i = rng.randrange(n - 1)
+        a, b = result[i], result[i + 1]
+        if trace_type.items_independent(a, b):
+            result[i], result[i + 1] = b, a
+    return result

@@ -1,0 +1,158 @@
+"""Pomset (partially ordered multiset) view of data traces.
+
+A data trace induces a labelled partial order on its item occurrences:
+occurrence ``i`` precedes occurrence ``j`` iff there is a chain of
+pairwise-dependent occurrences from ``i`` to ``j`` in (any) representative
+sequence (Section 3.1; the visualization of Example 3.2 draws exactly the
+Hasse diagram of this order).
+
+:class:`Pomset` builds that order from a representative sequence and
+offers the queries the tests and examples need: the full causality
+relation, the Hasse covering relation, antichains/width, linearization
+checking and enumeration, and an ASCII rendering in the style of the
+paper's Example 3.2 figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from repro.traces.items import Item
+from repro.traces.trace_type import DataTraceType
+
+
+class Pomset:
+    """The labelled partial order induced by a trace representative.
+
+    Nodes are occurrence indexes ``0 .. n-1`` into the originating
+    sequence; :attr:`labels` maps each node to its :class:`Item`.  The
+    partial order is the transitive closure of "earlier and dependent".
+    """
+
+    def __init__(self, trace_type: DataTraceType, items: Sequence[Item]):
+        self.trace_type = trace_type
+        self.labels: Tuple[Item, ...] = tuple(items)
+        n = len(self.labels)
+        # strictly_below[j] = set of nodes i with i < j in the partial order.
+        below: List[Set[int]] = [set() for _ in range(n)]
+        for j in range(n):
+            for i in range(j):
+                if trace_type.items_dependent(self.labels[i], self.labels[j]):
+                    below[j].add(i)
+                    below[j] |= below[i]
+        self._below: Tuple[FrozenSet[int], ...] = tuple(frozenset(s) for s in below)
+
+    @property
+    def size(self) -> int:
+        return len(self.labels)
+
+    def precedes(self, i: int, j: int) -> bool:
+        """Whether occurrence ``i`` strictly precedes ``j`` in the order."""
+        return i in self._below[j]
+
+    def concurrent(self, i: int, j: int) -> bool:
+        """Whether occurrences ``i`` and ``j`` are incomparable."""
+        return i != j and not self.precedes(i, j) and not self.precedes(j, i)
+
+    def covers(self) -> Set[Tuple[int, int]]:
+        """The Hasse covering relation: pairs ``(i, j)`` with ``i`` an
+        immediate predecessor of ``j`` (no node strictly between)."""
+        result = set()
+        for j in range(self.size):
+            for i in self._below[j]:
+                if not any(
+                    self.precedes(i, k) and self.precedes(k, j)
+                    for k in self._below[j]
+                ):
+                    result.add((i, j))
+        return result
+
+    def minimal_nodes(self) -> List[int]:
+        """Nodes with no predecessor."""
+        return [j for j in range(self.size) if not self._below[j]]
+
+    def width(self) -> int:
+        """The size of a largest antichain (Mirsky-style via brute force
+        on small pomsets; intended for tests and visualization)."""
+        best = 0
+        nodes = list(range(self.size))
+
+        def extend(antichain: List[int], start: int) -> None:
+            nonlocal best
+            best = max(best, len(antichain))
+            for node in nodes[start:]:
+                if all(self.concurrent(node, other) for other in antichain):
+                    antichain.append(node)
+                    extend(antichain, node + 1)
+                    antichain.pop()
+
+        extend([], 0)
+        return best
+
+    # ------------------------------------------------------------------
+    # Linearizations.
+    # ------------------------------------------------------------------
+
+    def is_linearization(self, items: Sequence[Item]) -> bool:
+        """Whether ``items`` is a representative of the same trace."""
+        from repro.traces.normal_form import lex_normal_form
+
+        return lex_normal_form(self.trace_type, tuple(items)) == lex_normal_form(
+            self.trace_type, self.labels
+        )
+
+    def linearizations(self) -> Iterator[Tuple[Item, ...]]:
+        """Enumerate all *distinct* representative sequences of the trace.
+
+        Exponential in general; intended for small traces in tests (it is
+        used as an oracle against :func:`random_equivalent_shuffle` and
+        the normal forms).
+        """
+        n = self.size
+        consumed = [False] * n
+
+        def available() -> List[int]:
+            return [
+                j
+                for j in range(n)
+                if not consumed[j]
+                and all(consumed[i] for i in self._below[j])
+            ]
+
+        def walk(prefix: List[int]) -> Iterator[Tuple[Item, ...]]:
+            if len(prefix) == n:
+                yield tuple(self.labels[i] for i in prefix)
+                return
+            seen_labels = set()
+            for j in available():
+                label = self.labels[j]
+                if label in seen_labels:
+                    continue  # equal items give identical continuations
+                seen_labels.add(label)
+                consumed[j] = True
+                prefix.append(j)
+                yield from walk(prefix)
+                prefix.pop()
+                consumed[j] = False
+
+        yield from walk([])
+
+    def count_linearizations(self) -> int:
+        """The number of distinct representative sequences."""
+        return sum(1 for _ in self.linearizations())
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """ASCII Hasse diagram, one line per cover level (Foata steps).
+
+        Mirrors the Example 3.2 visualization: items grouped into steps,
+        arrows implied between consecutive dependent steps.
+        """
+        from repro.traces.normal_form import foata_normal_form
+
+        steps = foata_normal_form(self.trace_type, self.labels)
+        columns = [" ".join(repr(item) for item in step) for step in steps]
+        return "  ->  ".join(f"[{column}]" for column in columns)

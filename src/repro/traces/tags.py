@@ -1,0 +1,183 @@
+"""Tags and data types.
+
+A :class:`Tag` is a named label for a class of stream items.  A
+:class:`DataType` ``A = (Sigma, (T_sigma)_{sigma in Sigma})`` couples a tag
+alphabet ``Sigma`` with a value type ``T_sigma`` for each tag (Section 3.1).
+
+Value types are represented by *validators*: callables ``value -> bool``.
+This keeps the alphabet machinery independent of Python's nominal typing
+while still letting :class:`DataType` reject ill-typed items.  A plain
+Python type may be supplied wherever a validator is expected; it is
+wrapped in an ``isinstance`` check.
+
+The paper allows infinite tag alphabets (e.g., one tag per key in
+key-based partitioning, Example 3.8).  We support this with *tag
+families*: a :class:`DataType` may declare a default value validator that
+covers every tag not explicitly listed, and an optional tag predicate
+restricting which tags belong to the alphabet.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import TraceTypeError
+
+Validator = Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A tag from the alphabet ``Sigma``.
+
+    Tags are compared and hashed by name, so two ``Tag("M")`` objects are
+    interchangeable.  The name may be any hashable value: the Section 4
+    key-value types use the keys themselves as tags, and keys are often
+    ints or tuples rather than strings.  :meth:`sort_key` provides an
+    arbitrary-but-fixed total order for canonical normal forms.
+    """
+
+    name: Any
+
+    def sort_key(self):
+        """Fixed total order on tags (by type name then repr)."""
+        return (type(self.name).__name__, repr(self.name))
+
+    def __repr__(self):
+        return f"Tag({self.name!r})"
+
+    def __str__(self):
+        return str(self.name)
+
+
+#: The distinguished synchronization-marker tag of Section 4.  Markers are
+#: linearly ordered and carry a timestamp value.
+MARKER = Tag("#")
+
+
+def _as_validator(spec: Any) -> Validator:
+    """Coerce ``spec`` into a validator callable.
+
+    Accepts an existing callable, a Python type (``isinstance`` check), or
+    ``None`` (accept everything).
+    """
+    if spec is None:
+        return lambda _value: True
+    if isinstance(spec, str):
+        # Purely descriptive type name (e.g. "Float" in U(CID, Float)):
+        # documents the stream without constraining values.
+        return lambda _value: True
+    if isinstance(spec, type):
+        expected = spec
+        if expected is float:
+            # Accept ints where floats are declared; this mirrors Python's
+            # numeric tower and avoids spurious failures on literal data.
+            return lambda value: isinstance(value, numbers.Real) and not isinstance(
+                value, bool
+            )
+        if expected is int:
+            return lambda value: isinstance(value, numbers.Integral) and not isinstance(
+                value, bool
+            )
+        return lambda value: isinstance(value, expected)
+    if callable(spec):
+        return spec
+    raise TraceTypeError(f"cannot interpret {spec!r} as a value type")
+
+
+def nat_validator(value: Any) -> bool:
+    """Validator for the ``Nat`` value type used throughout the paper."""
+    return (
+        isinstance(value, numbers.Integral)
+        and not isinstance(value, bool)
+        and int(value) >= 0
+    )
+
+
+def unit_validator(value: Any) -> bool:
+    """Validator for the unit type ``Ut`` (we represent the unit as None)."""
+    return value is None
+
+
+class DataType:
+    """A data type ``A = (Sigma, (T_sigma))``: tags plus per-tag value types.
+
+    Parameters
+    ----------
+    value_types:
+        Mapping from :class:`Tag` (or tag name) to a value-type spec
+        (type, validator callable, or ``None``).
+    default_value_type:
+        Validator used for tags not listed in ``value_types``.  When
+        ``None`` (the default), unlisted tags are *not* part of the
+        alphabet and items carrying them are rejected.
+    tag_predicate:
+        Optional predicate restricting which tags belong to the alphabet
+        when ``default_value_type`` is given (e.g., "any tag whose name is
+        a sensor id").  ``None`` means all tags are admitted.
+    """
+
+    def __init__(
+        self,
+        value_types: Optional[Dict[Any, Any]] = None,
+        default_value_type: Any = None,
+        tag_predicate: Optional[Callable[[Tag], bool]] = None,
+    ):
+        self._validators: Dict[Tag, Validator] = {}
+        for tag, spec in (value_types or {}).items():
+            if not isinstance(tag, Tag):
+                tag = Tag(str(tag))
+            self._validators[tag] = _as_validator(spec)
+        self._has_default = default_value_type is not None or (
+            value_types is None and default_value_type is None and tag_predicate
+        )
+        self._default_validator = (
+            _as_validator(default_value_type) if default_value_type is not None else None
+        )
+        self._tag_predicate = tag_predicate
+
+    @property
+    def explicit_tags(self):
+        """The explicitly listed tags (a finite subset of the alphabet)."""
+        return frozenset(self._validators)
+
+    def is_finite(self) -> bool:
+        """Whether the tag alphabet is the finite explicit set."""
+        return self._default_validator is None
+
+    def contains_tag(self, tag: Tag) -> bool:
+        """Whether ``tag`` belongs to the alphabet ``Sigma``."""
+        if tag in self._validators:
+            return True
+        if self._default_validator is None:
+            return False
+        if self._tag_predicate is not None:
+            return bool(self._tag_predicate(tag))
+        return True
+
+    def validator_for(self, tag: Tag) -> Validator:
+        """The value validator ``T_sigma`` for ``tag``.
+
+        Raises :class:`TraceTypeError` if the tag is outside the alphabet.
+        """
+        if tag in self._validators:
+            return self._validators[tag]
+        if self.contains_tag(tag):
+            assert self._default_validator is not None
+            return self._default_validator
+        raise TraceTypeError(f"tag {tag} is not in the alphabet of {self!r}")
+
+    def check_item(self, tag: Tag, value: Any) -> None:
+        """Raise :class:`TraceTypeError` unless ``(tag, value)`` is in ``A``."""
+        validator = self.validator_for(tag)
+        if not validator(value):
+            raise TraceTypeError(
+                f"value {value!r} is not a valid {tag} item for this data type"
+            )
+
+    def __repr__(self):
+        tags = ", ".join(sorted(t.name for t in self._validators))
+        default = ", +default" if self._default_validator is not None else ""
+        return f"DataType({{{tags}}}{default})"

@@ -1,0 +1,188 @@
+"""Data traces: equivalence classes of item sequences under ``=_D``.
+
+A :class:`DataTrace` is the congruence class ``[u]`` of a sequence ``u``
+with respect to the dependence relation of its type (Section 3.1).  The
+class is represented by its lexicographic normal form, which makes
+equality, hashing, and set membership cheap after construction.
+
+Supported structure, following the paper:
+
+- concatenation ``[u] . [v] = [uv]`` (well-defined because ``=_D`` is a
+  congruence);
+- the *prefix order* ``u <= v`` iff some representative of ``u`` is a
+  sequence prefix of some representative of ``v`` — equivalently, iff
+  ``v = u . w`` for some trace ``w``;
+- the *residual* ``v / u`` — the unique ``w`` with ``u . w = v`` when
+  ``u <= v``;
+- projections (per tag, markers stripped, ...) used by tests and
+  examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceTypeError
+from repro.traces.items import Item
+from repro.traces.normal_form import foata_normal_form, lex_normal_form
+from repro.traces.trace_type import DataTraceType
+
+
+class DataTrace:
+    """A data trace of a given :class:`DataTraceType`.
+
+    Construct from any representative sequence; the instance stores the
+    canonical (lexicographic) normal form.  Two traces compare equal iff
+    they are ``=_D``-equivalent and have the same type name.
+    """
+
+    __slots__ = ("trace_type", "_canonical")
+
+    def __init__(
+        self,
+        trace_type: DataTraceType,
+        items: Iterable[Item] = (),
+        _canonical: Optional[Tuple[Item, ...]] = None,
+    ):
+        self.trace_type = trace_type
+        if _canonical is not None:
+            self._canonical = _canonical
+        else:
+            seq = tuple(items)
+            trace_type.check_sequence(seq)
+            self._canonical = lex_normal_form(trace_type, seq)
+
+    # ------------------------------------------------------------------
+    # Basic structure.
+    # ------------------------------------------------------------------
+
+    @property
+    def canonical(self) -> Tuple[Item, ...]:
+        """The lexicographic normal form representing this class."""
+        return self._canonical
+
+    def __len__(self):
+        return len(self._canonical)
+
+    def __iter__(self):
+        return iter(self._canonical)
+
+    def __bool__(self):
+        return bool(self._canonical)
+
+    def __eq__(self, other):
+        if not isinstance(other, DataTrace):
+            return NotImplemented
+        return (
+            self.trace_type.name == other.trace_type.name
+            and self._canonical == other._canonical
+        )
+
+    def __hash__(self):
+        return hash((self.trace_type.name, self._canonical))
+
+    def __repr__(self):
+        body = " ".join(repr(item) for item in self._canonical)
+        return f"<{self.trace_type.name}: {body}>"
+
+    # ------------------------------------------------------------------
+    # Monoid structure and prefix order.
+    # ------------------------------------------------------------------
+
+    def concat(self, other: "DataTrace") -> "DataTrace":
+        """Trace concatenation ``[u] . [v] = [uv]``."""
+        self._require_same_type(other)
+        return DataTrace(
+            self.trace_type, tuple(self._canonical) + tuple(other._canonical)
+        )
+
+    def __add__(self, other: "DataTrace") -> "DataTrace":
+        return self.concat(other)
+
+    def append(self, item: Item) -> "DataTrace":
+        """The trace ``[u . a]`` — consuming one more stream item."""
+        self.trace_type.check_item(item)
+        return DataTrace(self.trace_type, tuple(self._canonical) + (item,))
+
+    def is_prefix_of(self, other: "DataTrace") -> bool:
+        """The prefix partial order on traces: ``self <= other``."""
+        return self.residual_in(other) is not None
+
+    def __le__(self, other: "DataTrace") -> bool:
+        return self.is_prefix_of(other)
+
+    def residual_in(self, other: "DataTrace") -> Optional["DataTrace"]:
+        """Return ``w`` with ``self . w == other``, or ``None``.
+
+        Greedy residuation: consume the canonical form of ``self`` item by
+        item from a working copy of ``other``; each item must occur at a
+        *minimal* position (no dependent item before it).  For trace
+        monoids this greedy strategy is complete: if the first item of
+        ``u`` is not minimal in ``v`` then ``u`` cannot left-divide ``v``,
+        and any two minimal occurrences of equal items yield the same
+        residual class.
+        """
+        self._require_same_type(other)
+        remaining: List[Item] = list(other._canonical)
+        dependent = self.trace_type.items_dependent
+        for needed in self._canonical:
+            found = None
+            for i, candidate in enumerate(remaining):
+                if candidate == needed:
+                    blocked = any(
+                        dependent(remaining[j], candidate) for j in range(i)
+                    )
+                    if not blocked:
+                        found = i
+                        break
+                if dependent(candidate, needed):
+                    # A dependent item precedes every later occurrence of
+                    # `needed`, so no minimal occurrence can follow.
+                    break
+            if found is None:
+                return None
+            remaining.pop(found)
+        return DataTrace(self.trace_type, remaining)
+
+    # ------------------------------------------------------------------
+    # Views and projections.
+    # ------------------------------------------------------------------
+
+    def foata(self) -> Tuple[Tuple[Item, ...], ...]:
+        """The Foata (step) decomposition of this trace."""
+        return foata_normal_form(self.trace_type, self._canonical)
+
+    def project_tag(self, tag) -> Tuple[Item, ...]:
+        """The subsequence of items with the given tag, in canonical order.
+
+        When the tag is self-dependent this is the well-defined linear
+        order of that tag's items; for self-independent tags the result is
+        one arbitrary-but-canonical arrangement of the bag.
+        """
+        return tuple(item for item in self._canonical if item.tag == tag)
+
+    def data_items(self) -> Tuple[Item, ...]:
+        """All non-marker items, in canonical order."""
+        return tuple(item for item in self._canonical if not item.is_marker())
+
+    def markers(self) -> Tuple[Item, ...]:
+        """All marker items, in canonical order."""
+        return tuple(item for item in self._canonical if item.is_marker())
+
+    def equivalent_to_sequence(self, items: Sequence[Item]) -> bool:
+        """Whether ``items`` is a representative of this class."""
+        return lex_normal_form(self.trace_type, tuple(items)) == self._canonical
+
+    # ------------------------------------------------------------------
+
+    def _require_same_type(self, other: "DataTrace") -> None:
+        if self.trace_type.name != other.trace_type.name:
+            raise TraceTypeError(
+                f"trace type mismatch: {self.trace_type.name} vs "
+                f"{other.trace_type.name}"
+            )
+
+
+def empty_trace(trace_type: DataTraceType) -> DataTrace:
+    """The empty trace (identity for concatenation) of the given type."""
+    return DataTrace(trace_type, ())

@@ -1,0 +1,52 @@
+"""Data-string and data-trace transductions (Sections 3.2–3.3).
+
+A *data-string transduction* ``f : A* -> B*`` gives, for each input
+prefix, the output increment emitted on the arrival of its last item; its
+*lifting* accumulates increments over all prefixes.  A string transduction
+is *(X, Y)-consistent* (Definition 3.5) when equivalent inputs yield
+equivalent cumulative outputs, in which case it *denotes* a monotone
+function on traces — a *data-trace transduction* (Definition 3.6).
+
+Public surface:
+
+- :class:`StringTransduction` — base class with :meth:`step` semantics,
+  lifting, and streaming evaluation.
+- :func:`lift` — the cumulative-output view.
+- :class:`ConsistencyChecker` — randomized search for Definition 3.5
+  violations (used to *refute* consistency; the templates of Section 4
+  are consistent by construction, Theorem 4.2).
+- :class:`TraceTransduction` — the denotation ``beta([u]) = [lift(f)(u)]``.
+- Combinators: :func:`compose` (``>>``) and :func:`parallel` (``||``).
+- The worked examples of Section 3: deterministic merge, key-based
+  partitioning, streaming max over bags, running max filter.
+"""
+
+from repro.transductions.string_transduction import (
+    StringTransduction,
+    FunctionTransduction,
+    lift,
+)
+from repro.transductions.consistency import ConsistencyChecker, check_consistency
+from repro.transductions.trace_transduction import TraceTransduction
+from repro.transductions.combinators import compose, parallel, ComposedTransduction
+from repro.transductions.completeness import implement, ImplementedTransduction
+from repro.transductions.kpn import KahnNetwork, merge_network, network_transduction
+from repro.transductions import examples
+
+__all__ = [
+    "StringTransduction",
+    "FunctionTransduction",
+    "lift",
+    "ConsistencyChecker",
+    "check_consistency",
+    "TraceTransduction",
+    "compose",
+    "parallel",
+    "ComposedTransduction",
+    "implement",
+    "ImplementedTransduction",
+    "KahnNetwork",
+    "merge_network",
+    "network_transduction",
+    "examples",
+]

@@ -1,0 +1,108 @@
+"""Streaming and parallel composition of transductions (Theorem 4.3).
+
+``compose(f, g)`` is the streaming composition ``f >> g``: every output
+increment of ``f`` is fed to ``g`` immediately, so the composite is again
+a string transduction.  ``parallel(f, g)`` is ``f || g`` over disjointly
+tagged inputs: items are routed to the operand whose input type admits
+their tag, and outputs are interleaved as they are produced.
+
+Composition preserves consistency: if ``f`` is (X, Y)-consistent and
+``g`` is (Y, Z)-consistent then ``f >> g`` is (X, Z)-consistent, which is
+what lets the DAG semantics compose vertex denotations edge by edge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.transductions.string_transduction import StringTransduction
+
+
+class ComposedTransduction(StringTransduction):
+    """Streaming composition ``first >> second``."""
+
+    def __init__(self, first: StringTransduction, second: StringTransduction):
+        self.first = first
+        self.second = second
+        self.input_type = first.input_type
+        self.output_type = second.output_type
+
+    def initial(self):
+        return (self.first.initial(), self.second.initial())
+
+    def on_start(self, state):
+        first_state, second_state = state
+        out: List[Any] = list(self.second.on_start(second_state))
+        for intermediate in self.first.on_start(first_state):
+            out.extend(self.second.step(second_state, intermediate))
+        return out
+
+    def step(self, state, item):
+        first_state, second_state = state
+        out: List[Any] = []
+        for intermediate in self.first.step(first_state, item):
+            out.extend(self.second.step(second_state, intermediate))
+        return out
+
+
+class ParallelTransduction(StringTransduction):
+    """Parallel composition ``left || right`` with a routing predicate.
+
+    ``route_left(item)`` decides which operand consumes each input item.
+    Output increments are concatenated left-then-right per step; under the
+    intended output types (disjoint tags, cross-independent) the
+    concatenation order is immaterial at the trace level.
+    """
+
+    def __init__(
+        self,
+        left: StringTransduction,
+        right: StringTransduction,
+        route_left: Callable[[Any], bool],
+        broadcast: Optional[Callable[[Any], bool]] = None,
+    ):
+        self.left = left
+        self.right = right
+        self.route_left = route_left
+        self.broadcast = broadcast or (lambda item: False)
+
+    def initial(self):
+        return (self.left.initial(), self.right.initial())
+
+    def on_start(self, state):
+        left_state, right_state = state
+        return list(self.left.on_start(left_state)) + list(
+            self.right.on_start(right_state)
+        )
+
+    def step(self, state, item):
+        left_state, right_state = state
+        out: List[Any] = []
+        if self.broadcast(item):
+            out.extend(self.left.step(left_state, item))
+            out.extend(self.right.step(right_state, item))
+        elif self.route_left(item):
+            out.extend(self.left.step(left_state, item))
+        else:
+            out.extend(self.right.step(right_state, item))
+        return out
+
+
+def compose(*stages: StringTransduction) -> StringTransduction:
+    """Streaming composition of one or more stages, left to right."""
+    if not stages:
+        raise ValueError("compose requires at least one stage")
+    result = stages[0]
+    for stage in stages[1:]:
+        result = ComposedTransduction(result, stage)
+    return result
+
+
+def parallel(
+    left: StringTransduction,
+    right: StringTransduction,
+    route_left: Callable[[Any], bool],
+    broadcast: Optional[Callable[[Any], bool]] = None,
+) -> ParallelTransduction:
+    """Parallel composition with explicit routing (see class docs)."""
+    return ParallelTransduction(left, right, route_left, broadcast)

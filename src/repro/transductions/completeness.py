@@ -1,0 +1,88 @@
+"""The converse direction of the denotation theorem.
+
+Section 3.3 cites [13] for the fact that the data-trace transductions
+``X -> Y`` are *exactly* the (X,Y)-denotations of consistent data-string
+transductions.  The forward direction (consistent f => trace function)
+is :mod:`repro.transductions.trace_transduction`; this module makes the
+converse executable:
+
+Given any monotone trace function ``beta`` (as an oracle on
+:class:`~repro.traces.trace.DataTrace` values), :func:`implement`
+constructs a string transduction ``f`` whose lifting realizes ``beta``:
+after consuming a prefix ``u``, the cumulative output of ``f`` is a
+representative of ``beta([u])``.  The construction is the canonical one:
+
+    lift(f)(u a)  =  lift(f)(u) . w      where  [lift(f)(u)] . [w] = beta([u a])
+
+— the increment is the *residual* of the new output trace after the
+output already emitted.  Monotonicity of ``beta`` guarantees the
+residual exists; consistency of ``f`` follows because cumulative outputs
+only depend on ``beta([u])`` up to the already-emitted representative.
+
+The construction evaluates ``beta`` once per input item on the whole
+prefix, so it is a specification-to-implementation bridge for tests and
+small models, not a production operator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.errors import ConsistencyError
+from repro.traces.trace import DataTrace
+from repro.traces.trace_type import DataTraceType
+from repro.transductions.string_transduction import StringTransduction
+
+
+class ImplementedTransduction(StringTransduction):
+    """The canonical sequential implementation of a trace function."""
+
+    def __init__(
+        self,
+        beta: Callable[[DataTrace], DataTrace],
+        input_type: DataTraceType,
+        output_type: DataTraceType,
+    ):
+        self.beta = beta
+        self.input_type = input_type
+        self.output_type = output_type
+
+    def initial(self):
+        return {
+            "consumed": [],          # raw input items so far
+            "emitted": DataTrace(self.output_type, ()),
+        }
+
+    def on_start(self, state):
+        target = self.beta(DataTrace(self.input_type, ()))
+        return self._advance_to(state, target)
+
+    def step(self, state, item):
+        state["consumed"].append(item)
+        target = self.beta(DataTrace(self.input_type, state["consumed"]))
+        return self._advance_to(state, target)
+
+    def _advance_to(self, state, target: DataTrace) -> List[Any]:
+        residual = state["emitted"].residual_in(target)
+        if residual is None:
+            raise ConsistencyError(
+                "the supplied trace function is not monotone: "
+                f"{state['emitted']!r} is not a prefix of {target!r}"
+            )
+        increment = list(residual.canonical)
+        state["emitted"] = state["emitted"] + residual
+        return increment
+
+
+def implement(
+    beta: Callable[[DataTrace], DataTrace],
+    input_type: DataTraceType,
+    output_type: DataTraceType,
+) -> ImplementedTransduction:
+    """Construct a consistent string transduction realizing ``beta``.
+
+    ``beta`` must be a monotone function on traces (a data-trace
+    transduction); non-monotonicity is detected at the first offending
+    step and raised as :class:`~repro.errors.ConsistencyError`.
+    """
+    return ImplementedTransduction(beta, input_type, output_type)

@@ -1,0 +1,121 @@
+"""(X, Y)-consistency of data-string transductions (Definition 3.5).
+
+``f : A* -> B*`` is (X, Y)-consistent when ``u =_D v`` implies
+``lift(f)(u) =_E lift(f)(v)``.  Consistency over all inputs is undecidable
+for arbitrary code, so the checker here is a *refuter*: it samples random
+dependence-respecting shuffles of given (or generated) inputs and compares
+the cumulative outputs as traces.  A found violation is definitive (with a
+concrete witness); absence of violations over many trials is evidence, and
+for the Section 4 templates Theorem 4.2 supplies the actual proof.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.errors import ConsistencyError
+from repro.traces.normal_form import random_equivalent_shuffle
+from repro.traces.trace import DataTrace
+from repro.traces.trace_type import DataTraceType
+from repro.transductions.string_transduction import StringTransduction
+
+
+@dataclass
+class ConsistencyViolation:
+    """A concrete Definition 3.5 counterexample."""
+
+    input_a: List[Any]
+    input_b: List[Any]
+    output_a: List[Any]
+    output_b: List[Any]
+
+    def __str__(self):
+        return (
+            "consistency violation:\n"
+            f"  input A : {self.input_a}\n"
+            f"  input B : {self.input_b}\n"
+            f"  output A: {self.output_a}\n"
+            f"  output B: {self.output_b}"
+        )
+
+
+class ConsistencyChecker:
+    """Randomized refuter for (X, Y)-consistency.
+
+    Parameters
+    ----------
+    input_type, output_type:
+        The trace types ``X`` and ``Y``.  Items flowing through the
+        transduction must be :class:`~repro.traces.items.Item` values of
+        these types.
+    seed:
+        RNG seed; runs are deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        input_type: DataTraceType,
+        output_type: DataTraceType,
+        seed: int = 0,
+    ):
+        self.input_type = input_type
+        self.output_type = output_type
+        self._rng = random.Random(seed)
+
+    def check_on_input(
+        self,
+        transduction: StringTransduction,
+        items: Sequence[Any],
+        shuffles: int = 10,
+    ) -> Optional[ConsistencyViolation]:
+        """Compare outputs across random equivalent shuffles of ``items``.
+
+        Returns a violation witness or ``None`` when all sampled shuffles
+        produced trace-equivalent cumulative outputs.
+        """
+        base = list(items)
+        base_out = transduction.run(base)
+        base_trace = DataTrace(self.output_type, base_out)
+        for _ in range(shuffles):
+            variant = random_equivalent_shuffle(self.input_type, base, self._rng)
+            variant_out = transduction.run(variant)
+            if DataTrace(self.output_type, variant_out) != base_trace:
+                return ConsistencyViolation(base, variant, base_out, variant_out)
+        return None
+
+    def check(
+        self,
+        transduction: StringTransduction,
+        inputs: Iterable[Sequence[Any]],
+        shuffles: int = 10,
+    ) -> Optional[ConsistencyViolation]:
+        """Run :meth:`check_on_input` over a suite of inputs."""
+        for items in inputs:
+            violation = self.check_on_input(transduction, items, shuffles)
+            if violation is not None:
+                return violation
+        return None
+
+
+def check_consistency(
+    transduction: StringTransduction,
+    input_type: DataTraceType,
+    output_type: DataTraceType,
+    inputs: Iterable[Sequence[Any]],
+    shuffles: int = 10,
+    seed: int = 0,
+    raise_on_violation: bool = True,
+) -> Optional[ConsistencyViolation]:
+    """Convenience wrapper around :class:`ConsistencyChecker`.
+
+    With ``raise_on_violation`` (the default) a found counterexample is
+    raised as :class:`~repro.errors.ConsistencyError` carrying the
+    witness; otherwise it is returned.
+    """
+    checker = ConsistencyChecker(input_type, output_type, seed=seed)
+    violation = checker.check(transduction, inputs, shuffles=shuffles)
+    if violation is not None and raise_on_violation:
+        raise ConsistencyError(str(violation), witness=violation)
+    return violation

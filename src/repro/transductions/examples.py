@@ -1,0 +1,154 @@
+"""The worked transduction examples of Section 3.
+
+- :class:`RunningMaxFilter` — Example 3.4: emit the current item iff it
+  strictly exceeds everything seen so far.
+- :class:`DeterministicMerge` — Example 3.7: merge two linearly ordered
+  channels by reading cyclically.
+- :class:`KeyPartition` — Example 3.8: map a linear stream to per-key
+  sub-streams; implemented as the string transduction
+  ``f(w x) = (key(x), x)``.
+- :class:`StreamingMax` — Example 3.9: over unordered numbers with
+  linearly ordered ``#`` markers, emit at each marker the max so far.
+
+Each example also provides its *specification-level* trace function where
+the paper gives one (e.g. ``merge(x, y)`` on pairs of sequences), so tests
+can compare implementation denotations against specifications.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.traces.items import Item, is_marker
+from repro.traces.tags import Tag
+from repro.transductions.string_transduction import StringTransduction
+
+
+class RunningMaxFilter(StringTransduction):
+    """Example 3.4: pass items strictly greater than all previous items.
+
+    Input and output are plain comparable values (the paper's
+    ``f : Nat* -> Nat*``).
+    """
+
+    def initial(self):
+        return {"max": None}
+
+    def step(self, state, item):
+        if state["max"] is None or item > state["max"]:
+            state["max"] = item
+            return (item,)
+        return ()
+
+
+class DeterministicMerge(StringTransduction):
+    """Example 3.7: cyclic merge of two independent ordered channels.
+
+    Items are :class:`Item` values whose tags name the channel
+    (``Tag(0)`` / ``Tag(1)``).  The merge emits alternating pairs
+    ``x1 y1 x2 y2 ...`` as soon as both components are available, which is
+    exactly the paper's ``merge`` on the consumed prefixes.
+    """
+
+    def __init__(self, left_tag: Tag = Tag(0), right_tag: Tag = Tag(1)):
+        self.left_tag = left_tag
+        self.right_tag = right_tag
+
+    def initial(self):
+        return {"left": [], "right": [], "turn": 0}
+
+    def step(self, state, item: Item):
+        if item.tag == self.left_tag:
+            state["left"].append(item.value)
+        elif item.tag == self.right_tag:
+            state["right"].append(item.value)
+        else:
+            raise ValueError(f"unexpected channel tag {item.tag}")
+        out: List[Any] = []
+        # turn 0 -> next emission comes from the left channel.
+        while (state["turn"] == 0 and state["left"]) or (
+            state["turn"] == 1 and state["right"]
+        ):
+            source = "left" if state["turn"] == 0 else "right"
+            out.append(state[source].pop(0))
+            state["turn"] ^= 1
+        return out
+
+    @staticmethod
+    def specification(
+        xs: Sequence[Any], ys: Sequence[Any]
+    ) -> Tuple[Any, ...]:
+        """The paper's ``merge(x1..xm, y1..yn)`` on whole prefixes."""
+        n = min(len(xs), len(ys))
+        out: List[Any] = []
+        for i in range(n):
+            out.append(xs[i])
+            out.append(ys[i])
+        if len(xs) > n:
+            out.append(xs[n])
+        return tuple(out)
+
+
+class KeyPartition(StringTransduction):
+    """Example 3.8: key-based partitioning ``f(w x) = (key(x), x)``.
+
+    Input items are raw values; outputs are :class:`Item` values tagged by
+    the extracted key, so the output trace type is the keyed-channels type
+    of Example 3.8.
+    """
+
+    def __init__(self, key: Callable[[Any], Any]):
+        self.key = key
+
+    def initial(self):
+        return None
+
+    def step(self, state, item):
+        return (Item(Tag(self.key(item)), item),)
+
+    @staticmethod
+    def specification(
+        items: Sequence[Any], key: Callable[[Any], Any]
+    ) -> dict:
+        """``partition_key(u)(k) = u|k`` as a key-indexed dict."""
+        result: dict = {}
+        for item in items:
+            result.setdefault(key(item), []).append(item)
+        return result
+
+
+class StreamingMax(StringTransduction):
+    """Example 3.9: emit at every ``#`` the maximum of all numbers so far.
+
+    Input items are :class:`Item` values: numbers under a data tag plus
+    marker items.  Output items are plain numbers (a linearly ordered
+    output channel).  Markers with no preceding number emit nothing
+    (``max`` of the empty bag is undefined).
+    """
+
+    def initial(self):
+        return {"max": None}
+
+    def step(self, state, item: Item):
+        if is_marker(item):
+            if state["max"] is None:
+                return ()
+            return (state["max"],)
+        if state["max"] is None or item.value > state["max"]:
+            state["max"] = item.value
+        return ()
+
+    @staticmethod
+    def specification(bags: Sequence[Sequence[Any]]) -> Tuple[Any, ...]:
+        """``smax(B1..Bn) = max(B1) max(B1+B2) ... max(B1+..+B_{n-1})``.
+
+        The trailing open bag ``Bn`` contributes nothing, matching the
+        paper: output happens only at marker occurrences.
+        """
+        out: List[Any] = []
+        seen: List[Any] = []
+        for bag in bags[:-1]:
+            seen.extend(bag)
+            if seen:
+                out.append(max(seen))
+        return tuple(out)

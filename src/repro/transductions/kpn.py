@@ -1,0 +1,219 @@
+"""Acyclic Kahn Process Networks, and their data-trace-type encoding.
+
+Section 3.3 (Example 3.3) and the related-work discussion position the
+data-trace transduction model as a *generalization* of acyclic Kahn
+process networks [Kahn 1974]: a KPN has finitely many independent
+linearly ordered input/output channels — exactly the traces of
+:func:`repro.traces.trace_type.channels_type` — and each KPN denotes a
+monotone (indeed continuous) function from input channel histories to
+output channel histories, i.e. a data-trace transduction of that type.
+
+This module makes the claim executable:
+
+- :class:`KahnNetwork` — processes are Python generators that ``yield``
+  :func:`read` / :func:`write` commands; channels are unbounded FIFOs;
+  blocking reads are modelled by suspending the generator until a token
+  arrives.  Scheduling is cooperative and *seeded*, so tests can verify
+  the Kahn determinism property (outputs independent of scheduling).
+- :func:`network_transduction` — wraps a network as a function from
+  per-channel input sequences to per-channel output sequences, the
+  representation of a ``channels_type`` trace transduction.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DagError
+
+
+@dataclass(frozen=True)
+class Read:
+    """Command: block until a token is available on ``channel``."""
+
+    channel: str
+
+
+@dataclass(frozen=True)
+class Write:
+    """Command: append ``value`` to ``channel``."""
+
+    channel: str
+    value: Any
+
+
+def read(channel: str) -> Read:
+    """Request the next token of ``channel`` (yield this from a program)."""
+    return Read(channel)
+
+
+def write(channel: str, value: Any) -> Write:
+    """Emit ``value`` on ``channel`` (yield this from a program)."""
+    return Write(channel, value)
+
+
+class _ProcessRuntime:
+    __slots__ = ("name", "generator", "waiting_on", "done", "pending_send")
+
+    def __init__(self, name, generator):
+        self.name = name
+        self.generator = generator
+        self.waiting_on: Optional[str] = None
+        self.done = False
+        self.pending_send: Any = None
+
+
+class KahnNetwork:
+    """An acyclic network of deterministic sequential processes.
+
+    Programs are generator functions; yielding :class:`Read` suspends
+    until a token is available (the yield expression evaluates to the
+    token), yielding :class:`Write` appends a token.  Example — the
+    deterministic merge of Example 3.7::
+
+        def merge_program():
+            while True:
+                x = yield read("in0")
+                yield write("out", x)
+                y = yield read("in1")
+                yield write("out", y)
+
+    Channels are declared implicitly by use; :meth:`add_input` /
+    :meth:`add_output` mark the external ones.
+    """
+
+    def __init__(self):
+        self._programs: Dict[str, Callable[[], Any]] = {}
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+
+    def add_process(self, name: str, program: Callable[[], Any]) -> None:
+        if name in self._programs:
+            raise DagError(f"duplicate process name {name!r}")
+        self._programs[name] = program
+
+    def add_input(self, channel: str) -> None:
+        self._inputs.append(channel)
+
+    def add_output(self, channel: str) -> None:
+        self._outputs.append(channel)
+
+    @property
+    def input_channels(self) -> Tuple[str, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def output_channels(self) -> Tuple[str, ...]:
+        return tuple(self._outputs)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        inputs: Dict[str, Iterable[Any]],
+        seed: int = 0,
+        max_steps: int = 1_000_000,
+    ) -> Dict[str, List[Any]]:
+        """Execute to quiescence on finite inputs; return output histories.
+
+        ``seed`` randomizes the scheduling order of runnable processes —
+        by the Kahn principle the result is independent of it (tests
+        sweep seeds to check exactly this).
+        """
+        rng = random.Random(seed)
+        channels: Dict[str, Deque[Any]] = {}
+        for name, tokens in inputs.items():
+            channels[name] = deque(tokens)
+        outputs: Dict[str, List[Any]] = {name: [] for name in self._outputs}
+
+        processes = [
+            _ProcessRuntime(name, program())
+            for name, program in self._programs.items()
+        ]
+        # Prime every generator to its first command.
+        for process in processes:
+            self._advance(process, None, channels, outputs)
+
+        steps = 0
+        while True:
+            runnable = [
+                p
+                for p in processes
+                if not p.done
+                and p.waiting_on is not None
+                and channels.get(p.waiting_on)
+            ]
+            if not runnable:
+                break
+            steps += 1
+            if steps > max_steps:
+                raise DagError("KPN exceeded max_steps; livelock?")
+            process = rng.choice(runnable)
+            token = channels[process.waiting_on].popleft()
+            self._advance(process, token, channels, outputs)
+        return outputs
+
+    def _advance(self, process: _ProcessRuntime, send_value, channels, outputs):
+        """Resume a process until it blocks on a Read or finishes."""
+        if process.done:
+            return
+        try:
+            command = process.generator.send(send_value)
+            while True:
+                if isinstance(command, Write):
+                    if command.channel in outputs:
+                        outputs[command.channel].append(command.value)
+                    else:
+                        channels.setdefault(command.channel, deque()).append(
+                            command.value
+                        )
+                    command = process.generator.send(None)
+                elif isinstance(command, Read):
+                    process.waiting_on = command.channel
+                    return
+                else:
+                    raise DagError(
+                        f"process {process.name} yielded {command!r}; "
+                        "expected read(...) or write(...)"
+                    )
+        except StopIteration:
+            process.done = True
+            process.waiting_on = None
+
+
+def network_transduction(
+    network: KahnNetwork,
+) -> Callable[[Dict[str, List[Any]]], Dict[str, List[Any]]]:
+    """The network as a channels-type trace transduction.
+
+    The returned function maps input channel histories to output channel
+    histories.  It is monotone w.r.t. the per-channel prefix order
+    (Kahn's continuity), which makes it a data-trace transduction of the
+    Example 3.3 type — verified property-style in the tests.
+    """
+
+    def apply(inputs: Dict[str, List[Any]]) -> Dict[str, List[Any]]:
+        return network.run(inputs)
+
+    return apply
+
+
+def merge_network() -> KahnNetwork:
+    """Example 3.7's deterministic merge, as a KPN."""
+
+    def program():
+        while True:
+            x = yield read("in0")
+            yield write("out", x)
+            y = yield read("in1")
+            yield write("out", y)
+
+    network = KahnNetwork()
+    network.add_input("in0")
+    network.add_input("in1")
+    network.add_output("out")
+    network.add_process("merge", program)
+    return network

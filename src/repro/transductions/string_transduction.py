@@ -1,0 +1,129 @@
+"""Data-string transductions (Section 3.2).
+
+A data-string transduction with input type ``A`` and output type ``B`` is
+a function ``f : A* -> B*`` where ``f(u)`` is the output increment emitted
+right after consuming the last item of ``u`` (the paper's "one-step
+description").  The lifting ``lift(f)(a1..an) = f(eps) . f(a1) . ... .
+f(a1..an)`` is the cumulative output and is monotone w.r.t. prefixes.
+
+Implementations subclass :class:`StringTransduction` and define either
+
+- :meth:`StringTransduction.step` — stateful one-step processing over an
+  instance-local state created by :meth:`initial` (the natural style for
+  streaming code); or
+- a pure ``f`` via :class:`FunctionTransduction` wrapping an explicit
+  ``f : sequence -> sequence`` (the natural style for specifications,
+  e.g. Example 3.4).
+
+Both expose the same interface: :meth:`on_prefix` (``f``),
+:meth:`cumulative` (``lift(f)``), and :meth:`run` (stream evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence, Tuple
+
+
+class StringTransduction:
+    """Base class: a stateful sequential stream processor.
+
+    Subclasses override :meth:`initial` to create per-run state and
+    :meth:`step` to consume one item and return the output increment.
+    ``f(eps)`` is modelled by :meth:`on_start`, which defaults to no
+    output (the common case; Example 3.4 has ``f(eps) = eps``).
+    """
+
+    #: Optional trace types used by consistency checking; subclasses or
+    #: callers may set these.
+    input_type = None
+    output_type = None
+
+    def initial(self) -> Any:
+        """Create the state used by a fresh run."""
+        return None
+
+    def on_start(self, state: Any) -> Sequence[Any]:
+        """The output ``f(eps)`` emitted before any input arrives."""
+        return ()
+
+    def step(self, state: Any, item: Any) -> Sequence[Any]:
+        """Consume ``item``, mutate/replace state via return convention.
+
+        The default convention is *mutable state*: implementations mutate
+        ``state`` in place and return the output increment.  (Immutable
+        state can be modelled by storing a one-element list.)
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Derived views.
+    # ------------------------------------------------------------------
+
+    def run(self, items: Iterable[Any]) -> List[Any]:
+        """The cumulative output ``lift(f)(items)`` of a complete run."""
+        state = self.initial()
+        out: List[Any] = list(self.on_start(state))
+        for item in items:
+            out.extend(self.step(state, item))
+        return out
+
+    def increments(self, items: Iterable[Any]) -> List[Tuple[Any, List[Any]]]:
+        """Pairs ``(item, f(prefix ending at item))`` — the one-step view.
+
+        The leading ``f(eps)`` increment is reported with item ``None``.
+        """
+        state = self.initial()
+        result: List[Tuple[Any, List[Any]]] = [(None, list(self.on_start(state)))]
+        for item in items:
+            result.append((item, list(self.step(state, item))))
+        return result
+
+    def on_prefix(self, items: Sequence[Any]) -> List[Any]:
+        """``f(items)``: the increment emitted on the *last* item of
+        ``items`` (``f(eps)`` when empty)."""
+        state = self.initial()
+        out = list(self.on_start(state))
+        if not items:
+            return out
+        for item in items[:-1]:
+            self.step(state, item)
+        return list(self.step(state, items[-1]))
+
+    def cumulative(self, items: Sequence[Any]) -> List[Any]:
+        """``lift(f)(items)`` — alias of :meth:`run` for sequences."""
+        return self.run(items)
+
+
+class FunctionTransduction(StringTransduction):
+    """A string transduction given by an explicit pure ``f : A* -> B*``.
+
+    ``f`` receives the whole input prefix (a tuple) and returns the output
+    increment for its last item.  This matches the paper's mathematical
+    presentation directly (Example 3.4) at the cost of re-reading the
+    prefix on every step, so it is intended for specifications and tests.
+    """
+
+    def __init__(self, f: Callable[[Tuple[Any, ...]], Sequence[Any]],
+                 input_type=None, output_type=None):
+        self._f = f
+        self.input_type = input_type
+        self.output_type = output_type
+
+    def initial(self) -> List[Any]:
+        return []
+
+    def on_start(self, state: List[Any]) -> Sequence[Any]:
+        return tuple(self._f(()))
+
+    def step(self, state: List[Any], item: Any) -> Sequence[Any]:
+        state.append(item)
+        return tuple(self._f(tuple(state)))
+
+
+def lift(transduction: StringTransduction) -> Callable[[Sequence[Any]], List[Any]]:
+    """The lifting ``lift(f)``: map an input sequence to cumulative output.
+
+    ``lift(f)`` is monotone w.r.t. the prefix order (the paper's key
+    observation enabling the trace denotation).
+    """
+    return transduction.cumulative

@@ -1,0 +1,87 @@
+"""Data-trace transductions (Section 3.3).
+
+A data-trace transduction ``beta : X -> Y`` is a monotone function from
+input traces to output traces; it is the denotational semantics of a
+stream processing system.  Every (X, Y)-consistent string transduction
+``f`` has a denotation ``beta([u]) = [lift(f)(u)]``, and conversely every
+trace transduction arises this way ([13], cited in the paper).
+
+:class:`TraceTransduction` packages a string transduction with its trace
+types and exposes the trace-level function, plus empirical monotonicity
+checking used by property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.errors import ConsistencyError
+from repro.traces.trace import DataTrace
+from repro.traces.trace_type import DataTraceType
+from repro.transductions.consistency import ConsistencyChecker
+from repro.transductions.string_transduction import StringTransduction
+
+
+class TraceTransduction:
+    """The (X, Y)-denotation of a consistent string transduction.
+
+    Parameters
+    ----------
+    transduction:
+        The sequential implementation ``f``.
+    input_type, output_type:
+        The trace types ``X`` and ``Y``.
+    verify_on:
+        Optional suite of input sequences; when given, consistency is
+        spot-checked at construction (Definition 3.5) and a violation
+        raises :class:`~repro.errors.ConsistencyError`.
+    """
+
+    def __init__(
+        self,
+        transduction: StringTransduction,
+        input_type: DataTraceType,
+        output_type: DataTraceType,
+        verify_on: Optional[Iterable[Sequence[Any]]] = None,
+        seed: int = 0,
+    ):
+        self.transduction = transduction
+        self.input_type = input_type
+        self.output_type = output_type
+        if verify_on is not None:
+            checker = ConsistencyChecker(input_type, output_type, seed=seed)
+            violation = checker.check(transduction, verify_on)
+            if violation is not None:
+                raise ConsistencyError(str(violation), witness=violation)
+
+    def apply(self, trace: DataTrace) -> DataTrace:
+        """``beta([u]) = [lift(f)(u)]`` on any representative of ``[u]``."""
+        output_items = self.transduction.run(trace.canonical)
+        return DataTrace(self.output_type, output_items)
+
+    def apply_sequence(self, items: Sequence[Any]) -> DataTrace:
+        """Apply to a raw representative sequence."""
+        return self.apply(DataTrace(self.input_type, items))
+
+    def __call__(self, trace: DataTrace) -> DataTrace:
+        return self.apply(trace)
+
+    # ------------------------------------------------------------------
+    # Property checks.
+    # ------------------------------------------------------------------
+
+    def check_monotone_on(
+        self, items: Sequence[Any], samples: int = 5, seed: int = 0
+    ) -> bool:
+        """Spot-check monotonicity: for random prefix splits ``u <= uv``,
+        verify ``beta(u) <= beta(uv)`` in the trace prefix order."""
+        rng = random.Random(seed)
+        full = DataTrace(self.input_type, items)
+        full_out = self.apply(full)
+        for _ in range(samples):
+            cut = rng.randint(0, len(items))
+            prefix = DataTrace(self.input_type, items[:cut])
+            if not self.apply(prefix).is_prefix_of(full_out):
+                return False
+        return True

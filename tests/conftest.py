@@ -1,0 +1,114 @@
+"""Shared fixtures: the paper's running-example trace types and small
+workloads, plus hypothesis strategies for events and item sequences."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings as _hypothesis_settings
+from hypothesis import strategies as st
+
+# Our fixtures are immutable type descriptors, safe to share across
+# generated inputs; silence the function-scoped-fixture health check.
+_hypothesis_settings.register_profile(
+    "repro",
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+    deadline=None,
+)
+_hypothesis_settings.load_profile("repro")
+
+from repro.operators.base import KV, Marker
+from repro.traces.dependence import DependenceRelation
+from repro.traces.items import Item, marker
+from repro.traces.tags import DataType, MARKER, Tag, nat_validator
+from repro.traces.trace_type import DataTraceType, ordered_type, unordered_type
+
+M = Tag("M")
+
+
+@pytest.fixture
+def example31_type() -> DataTraceType:
+    """Example 3.1: tags {M, #}, M self-independent, # ordered and
+    dependent on M."""
+    data_type = DataType({M: nat_validator, MARKER: nat_validator})
+    dependence = DependenceRelation.with_marker(data_tags_self_dependent=False)
+    return DataTraceType(data_type, dependence, name="Ex31")
+
+
+@pytest.fixture
+def u_type() -> DataTraceType:
+    return unordered_type("K", "V")
+
+
+@pytest.fixture
+def o_type() -> DataTraceType:
+    return ordered_type("K", "V")
+
+
+def measurements(*values, ts=None):
+    """Items (M, v) for each value, optionally ending with a marker."""
+    items = [Item(M, v) for v in values]
+    if ts is not None:
+        items.append(marker(ts))
+    return items
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies.
+# ----------------------------------------------------------------------
+
+#: Small key/value alphabets keep shrunk counterexamples readable.
+keys = st.sampled_from(["a", "b", "c"])
+values = st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def event_streams(draw, max_blocks: int = 4, max_block_size: int = 6):
+    """A well-formed keyed event stream: blocks of KV pairs + markers."""
+    n_blocks = draw(st.integers(min_value=0, max_value=max_blocks))
+    stream = []
+    for block in range(n_blocks):
+        size = draw(st.integers(min_value=0, max_value=max_block_size))
+        for _ in range(size):
+            stream.append(KV(draw(keys), draw(values)))
+        stream.append(Marker(block + 1))
+    # optional trailing open block
+    tail = draw(st.integers(min_value=0, max_value=max_block_size))
+    for _ in range(tail):
+        stream.append(KV(draw(keys), draw(values)))
+    return stream
+
+
+@st.composite
+def example31_sequences(draw, max_len: int = 10):
+    """Item sequences over the Example 3.1 alphabet with increasing
+    marker timestamps."""
+    length = draw(st.integers(min_value=0, max_value=max_len))
+    items = []
+    next_ts = 1
+    for _ in range(length):
+        if draw(st.booleans()):
+            items.append(Item(M, draw(st.integers(min_value=0, max_value=9))))
+        else:
+            items.append(marker(next_ts))
+            next_ts += 1
+    return items
+
+
+def shuffle_within_blocks(events, rng):
+    """A trace-equivalent reordering of a U stream: permute each block."""
+    from repro.operators.base import Marker
+
+    result, block = [], []
+    for event in events:
+        if isinstance(event, Marker):
+            rng.shuffle(block)
+            result.extend(block)
+            result.append(event)
+            block = []
+        else:
+            block.append(event)
+    rng.shuffle(block)
+    result.extend(block)
+    return result

@@ -1,0 +1,126 @@
+"""The Section 2 motivation experiment: naive parallelization of the
+order-sensitive pipeline is semantically unsound; the typed deployment
+is interleaving-invariant."""
+
+import pytest
+
+from repro.apps.iot import (
+    SensorWorkload,
+    build_naive_topology,
+    iot_typed_dag,
+    iot_vertex_costs,
+)
+from repro.apps.iot.sensors import SensorReading, deserialize, serialize
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events
+from repro.dag import evaluate_dag, typecheck_dag
+from repro.operators.base import KV, Marker
+from repro.storm import LocalRunner
+from repro.storm.local import events_to_trace
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return SensorWorkload(n_sensors=3, duration=40, marker_period=10)
+
+
+@pytest.fixture(scope="module")
+def events(workload):
+    return workload.events()
+
+
+class TestWorkload:
+    def test_serialization_round_trip(self):
+        reading = SensorReading(2, 21.5, 17)
+        assert deserialize(serialize(reading)) == reading
+
+    def test_has_missing_points(self, workload):
+        by_sensor = {}
+        for reading in workload.readings():
+            by_sensor.setdefault(reading.sensor_id, set()).add(reading.timestamp)
+        assert any(
+            len(stamps) < workload.duration for stamps in by_sensor.values()
+        )
+
+    def test_watermark_structure(self, workload, events):
+        markers = [e.timestamp for e in events if isinstance(e, Marker)]
+        assert markers == [10, 20, 30, 40]
+
+
+class TestTypedPipeline:
+    def test_typechecks(self):
+        typecheck_dag(iot_typed_dag(parallelism=2))
+
+    def test_interleaving_invariance(self, events):
+        dag = iot_typed_dag(parallelism=2)
+        expected = evaluate_dag(dag, {"SENSOR": events}).sink_trace("SINK", False)
+        compiled = compile_dag(dag, {"SENSOR": source_from_events(events, 1)})
+        traces = set()
+        for seed in range(5):
+            LocalRunner(compiled.topology, seed=seed).run()
+            traces.add(
+                events_to_trace(compiled.sinks["SINK"].aligned_events, False)
+            )
+        assert traces == {expected}
+
+    def test_parallelism_does_not_change_output(self, events):
+        base = None
+        for parallelism in (1, 2, 4):
+            dag = iot_typed_dag(parallelism=parallelism)
+            trace = evaluate_dag(dag, {"SENSOR": events}).sink_trace("SINK", False)
+            compiled = compile_dag(dag, {"SENSOR": source_from_events(events, 1)})
+            LocalRunner(compiled.topology, seed=2).run()
+            got = events_to_trace(compiled.sinks["SINK"].aligned_events, False)
+            assert got == trace
+            if base is None:
+                base = trace
+            else:
+                assert trace == base
+
+    def test_cost_table(self):
+        costs = iot_vertex_costs()
+        assert costs["Map"] > costs["LI"]  # deserialization dominates
+
+
+class TestNaivePipeline:
+    def test_single_instance_is_deterministic(self, events):
+        outputs = set()
+        for seed in range(4):
+            topology, _ = build_naive_topology(events, map_parallelism=1)
+            report = LocalRunner(topology, seed=seed).run()
+            outputs.add(tuple(map(repr, report.sink_events["SINK"])))
+        assert len(outputs) == 1
+
+    def test_parallel_maps_are_nondeterministic(self, events):
+        """The paper's motivating failure: with Map replicated, outputs
+        depend on the interleaving (seed)."""
+        outputs = set()
+        for seed in range(6):
+            topology, _ = build_naive_topology(events, map_parallelism=2)
+            report = LocalRunner(topology, seed=seed).run()
+            outputs.add(tuple(map(repr, report.sink_events["SINK"])))
+        assert len(outputs) > 1
+
+    def test_parallel_maps_corrupt_results(self, events):
+        """Disorder corrupts the interpolation: the averages the naive
+        parallel pipeline reports differ from the correct (single-Map)
+        results on some interleavings."""
+        topology, _ = build_naive_topology(events, map_parallelism=1)
+        baseline = LocalRunner(topology, seed=0).run()
+        baseline_values = sorted(
+            (e.key, e.value)
+            for e in baseline.sink_events["SINK"]
+            if isinstance(e, KV)
+        )
+        corrupted_somewhere = False
+        for seed in range(6):
+            topology, _ = build_naive_topology(events, map_parallelism=2)
+            report = LocalRunner(topology, seed=seed).run()
+            values = sorted(
+                (e.key, e.value)
+                for e in report.sink_events["SINK"]
+                if isinstance(e, KV)
+            )
+            if values != baseline_values:
+                corrupted_somewhere = True
+        assert corrupted_somewhere

@@ -1,0 +1,188 @@
+"""The Smart-Homes case study: workload shape, per-stage behaviour, and
+the Figure 5 pipeline's deployment and semantics."""
+
+import pytest
+
+from repro.apps.smarthomes.events import (
+    DEVICE_TYPES,
+    PlugReading,
+    SmartHomesWorkload,
+    device_load,
+)
+from repro.apps.smarthomes.pipeline import (
+    AveragePerSecondOp,
+    LinearInterpolationOp,
+    PredictOp,
+    smart_homes_costs,
+    smart_homes_dag,
+)
+from repro.apps.smarthomes.prediction import (
+    make_features,
+    train_predictor,
+    training_series,
+)
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events
+from repro.dag import evaluate_dag, typecheck_dag
+from repro.ml import fill_series
+from repro.operators.base import KV, Marker
+from repro.storm import LocalRunner
+from repro.storm.local import events_to_trace
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return SmartHomesWorkload(
+        n_buildings=2, units_per_building=2, plugs_per_unit=2, duration=60
+    )
+
+
+@pytest.fixture(scope="module")
+def models():
+    return train_predictor(horizon=120, train_seconds=600, past=60)
+
+
+class TestWorkload:
+    def test_deterministic(self, workload):
+        assert workload.events() == workload.events()
+
+    def test_watermark_guarantee(self, workload):
+        """All measurements with ts < period*i precede the i-th marker."""
+        seen_markers = 0
+        for event in workload.events():
+            if isinstance(event, Marker):
+                seen_markers += 1
+            else:
+                assert event.value.timestamp >= (seen_markers) * workload.marker_period - workload.marker_period
+                assert event.value.timestamp < (seen_markers + 1) * workload.marker_period
+
+    def test_has_gaps_and_duplicates(self, workload):
+        by_plug = {}
+        for reading in workload.readings():
+            by_plug.setdefault(reading.plug_key(), []).append(reading.timestamp)
+        gaps = sum(
+            1
+            for times in by_plug.values()
+            for a, b in zip(sorted(times), sorted(times)[1:])
+            if b - a > 4
+        )
+        duplicates = sum(
+            len(times) - len(set(times)) for times in by_plug.values()
+        )
+        assert gaps > 0, "workload must contain gaps"
+        assert duplicates > 0, "workload must contain duplicate timestamps"
+
+    def test_database_covers_all_plugs(self, workload):
+        db = workload.make_database()
+        for key in workload.plug_keys():
+            row = db.lookup("plugs", "plug_key", key)
+            assert row is not None and row[1] in DEVICE_TYPES
+
+    def test_load_model_nonnegative(self):
+        import random
+
+        rng = random.Random(0)
+        for device in DEVICE_TYPES:
+            for t in (0, 3600, 43200, 86399):
+                assert device_load(device, t, rng) >= 0.0
+
+
+class TestStages:
+    def test_interpolation_matches_batch_oracle(self):
+        op = LinearInterpolationOp()
+        samples = [(0, 10.0), (3, 16.0), (5, 20.0)]
+        events = [KV("p", (v, t, "ac")) for t, v in samples]
+        out = op.run(events)
+        got = [(value[1], value[0]) for e in out if isinstance(e, KV)
+               for value in [e.value]]
+        expected = fill_series(samples)
+        assert [(t, v) for t, v in got] == [(t, v) for t, v in expected]
+
+    def test_interpolation_skips_duplicates(self):
+        op = LinearInterpolationOp()
+        out = op.run([
+            KV("p", (1.0, 0, "ac")),
+            KV("p", (9.0, 0, "ac")),  # duplicate ts
+            KV("p", (3.0, 2, "ac")),
+        ])
+        values = [e.value for e in out if isinstance(e, KV)]
+        assert values == [(1.0, 0, "ac"), (2.0, 1, "ac"), (3.0, 2, "ac")]
+
+    def test_average_groups_by_timestamp(self):
+        op = AveragePerSecondOp()
+        out = op.run([
+            KV("ac", (10.0, 1)), KV("ac", (20.0, 1)), KV("ac", (30.0, 2)),
+        ])
+        emitted = [e.value for e in out if isinstance(e, KV)]
+        assert emitted == [(15.0, 1)]  # ts=2 group still open
+
+    def test_predict_emits_after_warmup(self, models):
+        op = PredictOp(models, past=10)
+        events = [KV("ac", (500.0, t)) for t in range(20)]
+        out = op.run(events)
+        predictions = [e for e in out if isinstance(e, KV)]
+        assert predictions, "predictor must emit once the window is warm"
+        ts, value = predictions[-1].value
+        assert value > 0
+
+
+class TestTraining:
+    def test_feature_extraction_shapes(self):
+        series = training_series("ac", 300, seed=1)
+        X, y = make_features(series, horizon=60, past=30)
+        assert len(X) == len(y) == 300 - 30 - 60
+        assert all(len(x) == 3 for x in X)
+
+    def test_models_cover_all_device_types(self, models):
+        assert set(models) == set(DEVICE_TYPES)
+
+    def test_prediction_scale_reasonable(self, models):
+        """A heater's 2-minute forecast should be near 120x its typical
+        per-second load (sanity of units)."""
+        series = training_series("heater", 400, seed=9)
+        X, y = make_features(series, horizon=120, past=60)
+        prediction = models["heater"].predict(X[0])
+        assert 0.2 * min(y) <= prediction <= 2.0 * max(y)
+
+
+class TestPipeline:
+    def test_typechecks_and_renders(self, workload, models):
+        dag = smart_homes_dag(workload.make_database(), models, parallelism=2)
+        typecheck_dag(dag)
+
+    def test_figure5_deployment_shape(self, workload, models):
+        dag = smart_homes_dag(workload.make_database(), models, parallelism=2)
+        compiled = compile_dag(
+            dag, {"hub": source_from_events(workload.events(), 2)}
+        )
+        assert list(compiled.topology.components) == [
+            "hub", "JFM", "SORT1;LI;Map", "SORT2;Avg;Predict", "SINK",
+        ]
+
+    def test_compiled_equals_denotation(self, workload, models):
+        events = workload.events()
+        dag = smart_homes_dag(workload.make_database(), models, parallelism=2)
+        expected = evaluate_dag(dag, {"hub": events}).sink_trace("SINK", True)
+        compiled = compile_dag(
+            smart_homes_dag(workload.make_database(), models, parallelism=2),
+            {"hub": source_from_events(events, 2)},
+        )
+        for seed in (0, 4):
+            LocalRunner(compiled.topology, seed=seed).run()
+            got = events_to_trace(compiled.sinks["SINK"].aligned_events, True)
+            assert got == expected
+
+    def test_pipeline_produces_predictions(self, workload, models):
+        events = workload.events()
+        dag = smart_homes_dag(workload.make_database(), models, parallelism=1)
+        trace = evaluate_dag(dag, {"hub": events}).sink_trace("SINK", True)
+        assert trace.total_pairs() > 0
+
+    def test_cost_table_covers_all_vertices(self, workload, models):
+        dag = smart_homes_dag(workload.make_database(), models, parallelism=1)
+        costs = smart_homes_costs()
+        from repro.dag.graph import VertexKind
+
+        for vertex in dag.vertices.values():
+            if vertex.kind == VertexKind.OP:
+                assert vertex.name in costs

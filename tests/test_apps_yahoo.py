@@ -1,0 +1,227 @@
+"""The Yahoo benchmark applications: workload determinism, per-query
+semantics (compiled == denotation across interleavings), hand-crafted
+plausibility, and cross-validation of compiled vs. hand-crafted results
+where their outputs are comparable."""
+
+import pytest
+
+from repro.apps.yahoo.events import EVENT_TYPES, AdEvent, YahooWorkload
+from repro.apps.yahoo.handcrafted import HANDCRAFTED_BUILDERS, MarkerTracker
+from repro.apps.yahoo.queries import QUERY_BUILDERS
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events
+from repro.dag import evaluate_dag
+from repro.operators.base import KV, Marker
+from repro.storm import LocalRunner
+from repro.storm.local import events_to_trace
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return YahooWorkload(
+        seconds=4, events_per_second=150, n_campaigns=8, ads_per_campaign=5,
+        n_users=40, n_locations=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def events(workload):
+    return workload.events()
+
+
+class TestWorkload:
+    def test_deterministic(self, workload):
+        assert workload.events() == workload.events()
+
+    def test_marker_per_second(self, workload, events):
+        markers = [e for e in events if isinstance(e, Marker)]
+        assert [m.timestamp for m in markers] == list(
+            range(1, workload.seconds + 1)
+        )
+
+    def test_event_schema(self, events):
+        data = [e.value for e in events if isinstance(e, KV)]
+        assert all(isinstance(e, AdEvent) for e in data)
+        assert all(e.event_type in EVENT_TYPES for e in data)
+
+    def test_event_times_within_blocks(self, workload, events):
+        second = 0
+        for e in events:
+            if isinstance(e, Marker):
+                second += 1
+            else:
+                assert second * 1000 <= e.value.event_time < (second + 1) * 1000
+
+    def test_database_shapes(self, workload):
+        db = workload.make_database()
+        assert len(db.tables["ads"]) == workload.n_ads()
+        assert len(db.tables["users"]) == workload.n_users
+        row = db.lookup("ads", "ad_id", 7)
+        assert row == (7, 7 // workload.ads_per_campaign)
+
+
+@pytest.mark.parametrize("query", list(QUERY_BUILDERS))
+class TestQuerySemantics:
+    def test_compiled_equals_denotation(self, query, workload, events):
+        builder, _ = QUERY_BUILDERS[query]
+        dag = builder(workload.make_database(), parallelism=2)
+        expected = evaluate_dag(dag, {"events": events}).sink_trace("SINK", False)
+        compiled = compile_dag(
+            builder(workload.make_database(), parallelism=2),
+            {"events": source_from_events(events, parallelism=2)},
+        )
+        for seed in (0, 3):
+            LocalRunner(compiled.topology, seed=seed).run()
+            got = events_to_trace(compiled.sinks["SINK"].aligned_events, False)
+            assert got == expected
+
+    def test_handcrafted_runs_and_aligns(self, query, workload, events):
+        topology, sink = HANDCRAFTED_BUILDERS[query](
+            workload.make_database(), events, parallelism=2, spouts=2
+        )
+        LocalRunner(topology, seed=1).run()
+        trace = events_to_trace(sink.aligned_events, False)
+        assert trace.num_markers() == workload.seconds
+
+
+class TestQueryContent:
+    def test_query1_enriches_every_event(self, workload, events):
+        builder, _ = QUERY_BUILDERS["I"]
+        dag = builder(workload.make_database(), parallelism=1)
+        trace = evaluate_dag(dag, {"events": events}).sink_trace("SINK", False)
+        assert trace.total_pairs() == workload.total_data_tuples()
+
+    def test_query2_persists_counts(self, workload, events):
+        db = workload.make_database()
+        builder, _ = QUERY_BUILDERS["II"]
+        dag = builder(db, parallelism=1)
+        evaluate_dag(dag, {"events": events})
+        store = db.stores["aggregates"]
+        assert sum(store.snapshot().values()) == workload.total_data_tuples()
+
+    def test_query3_counts_by_location(self, workload, events):
+        builder, _ = QUERY_BUILDERS["III"]
+        dag = builder(workload.make_database(), parallelism=1)
+        trace = evaluate_dag(dag, {"events": events}).sink_trace("SINK", False)
+        final_block = trace.blocks[workload.seconds - 1]
+        assert sum(v for _, v in final_block.pairs()) == workload.total_data_tuples()
+
+    def test_query4_counts_views_only(self, workload, events):
+        builder, _ = QUERY_BUILDERS["IV"]
+        dag = builder(workload.make_database(), parallelism=1)
+        trace = evaluate_dag(dag, {"events": events}).sink_trace("SINK", False)
+        views = sum(
+            1
+            for e in events
+            if isinstance(e, KV) and e.value.event_type == "view"
+        )
+        # Window (10 blocks) exceeds stream length, so the last block's
+        # counts sum to the total number of views.
+        final_block = trace.blocks[workload.seconds - 1]
+        assert sum(v for _, v in final_block.pairs()) == views
+
+    def test_query5_tumbling_blocks_sum_to_views(self, workload, events):
+        builder, _ = QUERY_BUILDERS["V"]
+        dag = builder(workload.make_database(), parallelism=1)
+        trace = evaluate_dag(dag, {"events": events}).sink_trace("SINK", False)
+        views = sum(
+            1
+            for e in events
+            if isinstance(e, KV) and e.value.event_type == "view"
+        )
+        total = sum(
+            v for block in trace.closed_blocks() for _, v in block.pairs()
+        )
+        assert total == views
+
+    def test_query6_emits_cluster_quality(self, workload, events):
+        builder, _ = QUERY_BUILDERS["VI"]
+        dag = builder(workload.make_database(), parallelism=1)
+        trace = evaluate_dag(dag, {"events": events}).sink_trace("SINK", False)
+        pairs = [p for block in trace.closed_blocks() for p in block.pairs()]
+        assert pairs, "clustering must emit per-location fits"
+        for location, (n_points, inertia) in pairs:
+            assert 0 <= location < workload.n_locations
+            assert n_points > 0
+            assert inertia >= 0
+
+    def test_query5_handcrafted_matches_compiled_counts(self, workload, events):
+        """Tumbling counts bucketed by event time coincide with the
+        marker-block counts, so the two implementations agree here."""
+        builder, _ = QUERY_BUILDERS["V"]
+        dag = builder(workload.make_database(), parallelism=1)
+        expected = evaluate_dag(dag, {"events": events}).sink_trace("SINK", False)
+        topology, sink = HANDCRAFTED_BUILDERS["V"](
+            workload.make_database(), events, parallelism=2, spouts=2
+        )
+        LocalRunner(topology, seed=2).run()
+        got = events_to_trace(sink.aligned_events, False)
+        assert got == expected
+
+
+class TestMarkerTracker:
+    def test_completion_requires_all_channels(self):
+        tracker = MarkerTracker(2)
+        assert tracker.advance("a", 1) == []
+        assert tracker.advance("b", 1) == [1]
+
+    def test_batch_completion(self):
+        tracker = MarkerTracker(2)
+        tracker.advance("a", 1)
+        tracker.advance("a", 2)
+        assert tracker.advance("b", 1) == [1]
+        assert tracker.advance("b", 2) == [2]
+
+    def test_single_channel(self):
+        tracker = MarkerTracker(1)
+        assert tracker.advance("a", 1) == [1]
+
+
+class TestPeriodicClustering:
+    def test_cluster_every_n_markers(self, workload, events):
+        """Query VI with cluster_every=2 emits on every second marker,
+        over the union of the two blocks' vectors."""
+        from repro.apps.yahoo.queries import query6
+
+        dag = query6(workload.make_database(), parallelism=1, cluster_every=2)
+        trace = evaluate_dag(dag, {"events": events}).sink_trace("SINK", False)
+        emitting = [
+            i for i, block in enumerate(trace.closed_blocks()) if block.pairs()
+        ]
+        assert emitting, "periodic clustering must emit"
+        assert all(i % 2 == 1 for i in emitting), (
+            "with every=2 only the 2nd, 4th, ... markers cluster"
+        )
+
+    def test_periodic_accumulates_across_blocks(self, workload, events):
+        """Points clustered with every=2 cover two blocks: the counts at
+        an emitting marker exceed (or equal) the per-block counts."""
+        from repro.apps.yahoo.queries import query6
+
+        per_block = evaluate_dag(
+            query6(workload.make_database(), parallelism=1, cluster_every=1),
+            {"events": events},
+        ).sink_trace("SINK", False)
+        per_two = evaluate_dag(
+            query6(workload.make_database(), parallelism=1, cluster_every=2),
+            {"events": events},
+        ).sink_trace("SINK", False)
+        # Compare the same marker (index 1 = the second block).
+        single = dict(per_block.blocks[1].pairs())
+        double = dict(per_two.blocks[1].pairs())
+        for location, (n_points, _inertia) in double.items():
+            assert n_points >= single[location][0]
+
+    def test_periodic_variant_still_consistent(self, workload, events):
+        from repro.apps.yahoo.queries import query6
+        from repro.dag.semantics import check_dag_invariance
+
+        dag = query6(workload.make_database(), parallelism=1, cluster_every=2)
+        check_dag_invariance(dag, {"events": events[: len(events) // 2]},
+                             shuffles=3)
+
+    def test_invalid_period(self):
+        from repro.apps.yahoo.queries import LocationClustering
+
+        with pytest.raises(ValueError):
+            LocationClustering(every=0)

@@ -1,0 +1,112 @@
+"""Compiler edge cases: name deduplication, explicit-MERGE inlining,
+diamond-free naming, and source spec plumbing."""
+
+import pytest
+
+from repro.compiler import compile_dag
+from repro.compiler.compile import CompilerOptions, SourceSpec, source_from_events
+from repro.dag import TransductionDAG, evaluate_dag
+from repro.operators.base import KV, Marker
+from repro.operators.library import map_values, tumbling_count
+from repro.operators.merge import Merge
+from repro.storm import LocalRunner
+from repro.storm.local import events_to_trace
+from repro.traces.trace_type import unordered_type
+
+U = unordered_type()
+
+EVENTS = [KV("a", 1), KV("b", 2), Marker(1), KV("a", 3), Marker(2)]
+
+
+class TestNaming:
+    def test_duplicate_stage_names_deduplicated(self):
+        dag = TransductionDAG("dups")
+        src = dag.add_source("src", output_type=U)
+        # Two stages with the SAME name; differing parallelism prevents
+        # fusion, so both become components and need distinct names.
+        a = dag.add_op(map_values(lambda v: v + 1, name="stage"),
+                       parallelism=1, upstream=[src], edge_types=[U])
+        b = dag.add_op(map_values(lambda v: v * 2, name="stage"),
+                       parallelism=2, upstream=[a], edge_types=[U])
+        dag.add_sink("out", upstream=b)
+        compiled = compile_dag(dag, {"src": source_from_events(EVENTS)})
+        names = set(compiled.topology.components)
+        assert "stage" in names
+        assert any(n.startswith("stage.") for n in names)
+
+    def test_component_of_covers_sinks_and_sources(self):
+        dag = TransductionDAG("cover")
+        src = dag.add_source("src", output_type=U)
+        op = dag.add_op(tumbling_count("C"), upstream=[src], edge_types=[U])
+        sink = dag.add_sink("out", upstream=op)
+        compiled = compile_dag(dag, {"src": source_from_events(EVENTS)})
+        assert compiled.component_of[src.vertex_id] == "src"
+        assert compiled.component_of[sink.vertex_id] == "out"
+
+
+class TestExplicitMergeInlining:
+    def test_merge_vertex_compiles_to_frontend(self):
+        """An explicit MRG vertex disappears into the consumer's merge
+        frontend — its inputs become direct inputs of the consumer."""
+        dag = TransductionDAG("mrg")
+        s1 = dag.add_source("s1", output_type=U)
+        s2 = dag.add_source("s2", output_type=U)
+        merge = dag.add_merge(Merge(2), upstream=[s1, s2])
+        op = dag.add_op(tumbling_count("C"), upstream=[merge], edge_types=[U])
+        dag.add_sink("out", upstream=op)
+
+        part1 = [KV("a", 1), Marker(1), Marker(2)]
+        part2 = [KV("a", 2), Marker(1), KV("b", 5), Marker(2)]
+        expected = evaluate_dag(dag, {"s1": part1, "s2": part2}).sink_trace(
+            "out", False
+        )
+        compiled = compile_dag(
+            dag,
+            {"s1": SourceSpec(lambda t, n: iter(part1)),
+             "s2": SourceSpec(lambda t, n: iter(part2))},
+        )
+        # No component named after the merge.
+        assert all("MRG" not in name for name in compiled.topology.components)
+        spec = compiled.topology.components["C"]
+        assert set(spec.inputs) == {"s1", "s2"}
+        LocalRunner(compiled.topology, seed=0).run()
+        got = events_to_trace(compiled.sinks["out"].aligned_events, False)
+        assert got == expected
+
+    def test_chained_merges_inline_transitively(self):
+        dag = TransductionDAG("mrg2")
+        sources = [dag.add_source(f"s{i}", output_type=U) for i in range(3)]
+        inner = dag.add_merge(Merge(2), upstream=sources[:2])
+        outer = dag.add_merge(Merge(2), upstream=[inner, sources[2]])
+        op = dag.add_op(tumbling_count("C"), upstream=[outer], edge_types=[U])
+        dag.add_sink("out", upstream=op)
+        streams = {
+            f"s{i}": [KV(f"k{i}", 1), Marker(1)] for i in range(3)
+        }
+        expected = evaluate_dag(dag, streams).sink_trace("out", False)
+        compiled = compile_dag(
+            dag,
+            {name: SourceSpec((lambda ev: lambda t, n: iter(ev))(events))
+             for name, events in streams.items()},
+        )
+        spec = compiled.topology.components["C"]
+        assert set(spec.inputs) == {"s0", "s1", "s2"}
+        LocalRunner(compiled.topology, seed=1).run()
+        got = events_to_trace(compiled.sinks["out"].aligned_events, False)
+        assert got == expected
+
+
+class TestParallelCombinatorExtras:
+    def test_parallel_broadcast(self):
+        from repro.transductions.combinators import parallel
+        from repro.transductions.examples import RunningMaxFilter
+
+        left, right = RunningMaxFilter(), RunningMaxFilter()
+        par = parallel(
+            left, right,
+            route_left=lambda x: x < 100,
+            broadcast=lambda x: x == 0,
+        )
+        # 0 goes to both, making both maxima 0; later items route by value.
+        out = par.run([0, 5, 200])
+        assert out == [0, 0, 5, 200]

@@ -1,0 +1,120 @@
+"""TransductionDAG construction and structural validation."""
+
+import pytest
+
+from repro.errors import DagError
+from repro.dag.graph import TransductionDAG, VertexKind
+from repro.dag.viz import render_dag
+from repro.operators.identity import IdentityOp
+from repro.operators.merge import Merge
+from repro.operators.split import HashSplit
+from repro.traces.trace_type import unordered_type
+
+U = unordered_type()
+
+
+def linear_dag():
+    dag = TransductionDAG("linear")
+    src = dag.add_source("src", output_type=U)
+    op = dag.add_op(IdentityOp(), parallelism=2, upstream=[src], edge_types=[U])
+    dag.add_sink("out", upstream=op, input_type=U)
+    return dag, src, op
+
+
+class TestBuilder:
+    def test_linear_valid(self):
+        dag, _, _ = linear_dag()
+        dag.validate()
+
+    def test_vertex_kinds(self):
+        dag, src, op = linear_dag()
+        assert src.kind == VertexKind.SOURCE
+        assert op.kind == VertexKind.OP
+        assert [s.name for s in dag.sinks()] == ["out"]
+        assert len(dag.processing_vertices()) == 1
+
+    def test_edges_typed(self):
+        dag, src, op = linear_dag()
+        (edge,) = dag.out_edges(src)
+        assert edge.trace_type == U
+
+    def test_parallelism_hint_recorded(self):
+        _, _, op = linear_dag()
+        assert op.parallelism == 2
+
+    def test_multi_input_op(self):
+        dag = TransductionDAG()
+        a = dag.add_source("a", output_type=U)
+        b = dag.add_source("b", output_type=U)
+        op = dag.add_op(IdentityOp(), upstream=[a, b], edge_types=[U, U])
+        dag.add_sink("out", upstream=op)
+        dag.validate()
+        assert len(dag.in_edges(op)) == 2
+
+    def test_connect_rejects_foreign_vertices(self):
+        dag1, src1, _ = linear_dag()
+        dag2 = TransductionDAG()
+        with pytest.raises(DagError):
+            dag2.connect(src1, src1)
+
+
+class TestValidation:
+    def test_source_needs_exactly_one_out(self):
+        dag = TransductionDAG()
+        dag.add_source("src", output_type=U)
+        with pytest.raises(DagError):
+            dag.validate()
+
+    def test_sink_needs_exactly_one_in(self):
+        dag, src, op = linear_dag()
+        extra = dag.add_sink("extra")
+        with pytest.raises(DagError):
+            dag.validate()
+
+    def test_op_needs_input_and_consumer(self):
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        dag.add_op(IdentityOp(), upstream=[src])
+        with pytest.raises(DagError):
+            dag.validate()  # op has no consumer
+
+    def test_splitter_arity_checked(self):
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        split = dag.add_split(HashSplit(2), upstream=src)
+        a = dag.add_op(IdentityOp(), upstream=[split])
+        dag.add_sink("out", upstream=a)
+        with pytest.raises(DagError):
+            dag.validate()  # splitter declares 2 outputs, has 1
+
+    def test_merge_arity_checked(self):
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        merge = dag.add_merge(Merge(2), upstream=[src])
+        dag.add_sink("out", upstream=merge)
+        with pytest.raises(DagError):
+            dag.validate()
+
+    def test_cycle_detected(self):
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        a = dag.add_op(IdentityOp(), upstream=[src])
+        b = dag.add_op(IdentityOp(), upstream=[a])
+        dag.connect(b, a)  # cycle
+        dag.add_sink("out", upstream=b)
+        with pytest.raises(DagError):
+            dag.validate()
+
+    def test_topological_order(self):
+        dag, src, op = linear_dag()
+        order = [v.name for v in dag.topological_order()]
+        assert order.index("src") < order.index("ID") < order.index("out")
+
+
+class TestViz:
+    def test_render_mentions_edges_and_types(self):
+        dag, _, _ = linear_dag()
+        rendered = render_dag(dag)
+        assert "src" in rendered
+        assert "U(K,V)" in rendered
+        assert "ID[x2]" in rendered

@@ -1,0 +1,87 @@
+"""The automatic parallelism planner."""
+
+import pytest
+
+from repro.dag import TransductionDAG, evaluate_dag
+from repro.dag.planner import Plan, plan_parallelism
+from repro.operators.base import KV, Marker
+from repro.operators.library import map_values, tumbling_count
+from repro.traces.trace_type import unordered_type
+
+U = unordered_type()
+
+
+def make_dag():
+    dag = TransductionDAG("planned")
+    src = dag.add_source("src", output_type=U)
+    heavy = dag.add_op(map_values(lambda v: v, name="heavy"), upstream=[src],
+                       edge_types=[U])
+    light = dag.add_op(tumbling_count("light"), upstream=[heavy],
+                       edge_types=[U])
+    dag.add_sink("out", upstream=light)
+    return dag, heavy, light
+
+
+class TestPlanner:
+    def test_heavier_stage_gets_more_tasks(self):
+        dag, heavy, light = make_dag()
+        plan = plan_parallelism(
+            dag, {"heavy": 30e-6, "light": 1e-6}, machines=4,
+        )
+        assert plan.parallelism[heavy.vertex_id] > plan.parallelism[light.vertex_id]
+
+    def test_budget_tracks_cluster_size(self):
+        dag, heavy, light = make_dag()
+        small = plan_parallelism(dag, {"heavy": 30e-6, "light": 30e-6}, machines=1)
+        large = plan_parallelism(dag, {"heavy": 30e-6, "light": 30e-6}, machines=8)
+        assert large.total_tasks() > small.total_tasks()
+
+    def test_every_stage_gets_at_least_one_task(self):
+        dag, heavy, light = make_dag()
+        plan = plan_parallelism(dag, {"heavy": 1000e-6, "light": 0.01e-6}, machines=2)
+        assert plan.parallelism[light.vertex_id] >= 1
+
+    def test_key_cardinality_caps(self):
+        dag, heavy, light = make_dag()
+        plan = plan_parallelism(
+            dag, {"heavy": 1e-6, "light": 100e-6}, machines=8,
+            key_cardinality={"light": 2},
+        )
+        assert plan.parallelism[light.vertex_id] <= 2
+
+    def test_callable_cost_uses_item_cost(self):
+        dag, heavy, light = make_dag()
+        plan = plan_parallelism(
+            dag,
+            {"heavy": lambda e: 30e-6, "light": 1e-6},
+            machines=4,
+        )
+        assert plan.parallelism[heavy.vertex_id] > plan.parallelism[light.vertex_id]
+
+    def test_apply_preserves_semantics(self):
+        dag, heavy, light = make_dag()
+        plan = plan_parallelism(dag, {"heavy": 30e-6, "light": 5e-6}, machines=3)
+        planned = plan.apply(dag)
+        events = [KV("a", 1), KV("b", 2), Marker(1)]
+        base = evaluate_dag(dag, {"src": events}).sink_trace("out", False)
+        from repro.dag import deploy
+
+        deployed = deploy(planned)
+        got = evaluate_dag(deployed, {"src": events}).sink_trace("out", False)
+        assert got == base
+
+    def test_apply_does_not_mutate_original(self):
+        dag, heavy, light = make_dag()
+        plan = plan_parallelism(dag, {"heavy": 30e-6, "light": 5e-6}, machines=8)
+        plan.apply(dag)
+        assert dag.vertices[heavy.vertex_id].parallelism == 1
+
+    def test_invalid_machines(self):
+        dag, _, _ = make_dag()
+        with pytest.raises(ValueError):
+            plan_parallelism(dag, {}, machines=0)
+
+    def test_empty_dag(self):
+        dag = TransductionDAG("empty")
+        plan = plan_parallelism(dag, {}, machines=2)
+        assert plan.parallelism == {}

@@ -1,0 +1,241 @@
+"""Denotational DAG evaluation and the Theorem 4.3 / Corollary 4.4
+rewrites: parallelization must never change output traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DagError
+from repro.dag.graph import TransductionDAG, VertexKind
+from repro.dag.rewrite import (
+    choose_splitter,
+    copy_dag,
+    deploy,
+    fuse_linear_chains,
+    parallelize_vertex,
+    reorder_merge_split,
+)
+from repro.dag.semantics import evaluate_dag
+from repro.operators.base import KV, Marker
+from repro.operators.identity import IdentityOp
+from repro.operators.keyed_ordered import OpKeyedOrdered
+from repro.operators.library import (
+    filter_items,
+    map_values,
+    sliding_count,
+    tumbling_count,
+)
+from repro.operators.merge import Merge
+from repro.operators.sort import SortOp
+from repro.operators.split import HashSplit, RoundRobinSplit
+from repro.operators.stateless import StatelessFn
+from repro.traces.trace_type import ordered_type, unordered_type
+
+from conftest import event_streams
+
+U = unordered_type()
+O = ordered_type()
+
+
+def pipeline_dag(p1=1, p2=1):
+    """src -> filter (stateless) -> tumbling count (keyed) -> sink."""
+    dag = TransductionDAG("pipeline")
+    src = dag.add_source("src", output_type=U)
+    f = dag.add_op(
+        filter_items(lambda k, v: v != 0, name="F"),
+        parallelism=p1, upstream=[src], edge_types=[U],
+    )
+    c = dag.add_op(
+        tumbling_count("C"), parallelism=p2, upstream=[f], edge_types=[U]
+    )
+    dag.add_sink("out", upstream=c, input_type=U)
+    return dag
+
+
+class TestEvaluate:
+    def test_simple_pipeline(self):
+        dag = pipeline_dag()
+        events = [KV("a", 1), KV("a", 0), KV("b", 2), Marker(1)]
+        result = evaluate_dag(dag, {"src": events})
+        trace = result.sink_trace("out", ordered=False)
+        assert trace.total_pairs() == 2  # counts for a and b
+
+    def test_missing_source_input(self):
+        dag = pipeline_dag()
+        with pytest.raises(DagError):
+            evaluate_dag(dag, {})
+
+    def test_multi_source_merge_semantics(self):
+        dag = TransductionDAG()
+        a = dag.add_source("a", output_type=U)
+        b = dag.add_source("b", output_type=U)
+        op = dag.add_op(tumbling_count("C"), upstream=[a, b], edge_types=[U, U])
+        dag.add_sink("out", upstream=op, input_type=U)
+        result = evaluate_dag(
+            dag,
+            {
+                "a": [KV("x", 1), Marker(1)],
+                "b": [KV("x", 1), KV("y", 1), Marker(1)],
+            },
+        )
+        trace = result.sink_trace("out", ordered=False)
+        # Blocks united: x appears twice, y once.
+        assert sorted(trace.blocks[0].pairs()) == [("x", 2), ("y", 1)]
+
+    def test_edge_labels_exposed(self):
+        dag = pipeline_dag()
+        events = [KV("a", 1), Marker(1)]
+        result = evaluate_dag(dag, {"src": events})
+        assert len(result.edge_events) == len(dag.edges)
+
+
+class TestParallelizeVertex:
+    @given(event_streams(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=25)
+    def test_stateless_parallelization_equivalence(self, events, n):
+        dag = pipeline_dag()
+        f_id = next(v.vertex_id for v in dag.vertices.values() if v.name == "F")
+        rewritten = parallelize_vertex(dag, f_id, n)
+        base = evaluate_dag(dag, {"src": events}).sink_trace("out", False)
+        got = evaluate_dag(rewritten, {"src": events}).sink_trace("out", False)
+        assert got == base
+
+    @given(event_streams(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=25)
+    def test_keyed_parallelization_equivalence(self, events, n):
+        dag = pipeline_dag()
+        c_id = next(v.vertex_id for v in dag.vertices.values() if v.name == "C")
+        rewritten = parallelize_vertex(dag, c_id, n)
+        base = evaluate_dag(dag, {"src": events}).sink_trace("out", False)
+        got = evaluate_dag(rewritten, {"src": events}).sink_trace("out", False)
+        assert got == base
+
+    def test_splitter_choice(self):
+        assert isinstance(choose_splitter(filter_items(lambda k, v: True), 2),
+                          RoundRobinSplit)
+        assert isinstance(choose_splitter(tumbling_count(), 2), HashSplit)
+        assert isinstance(choose_splitter(SortOp(), 2), HashSplit)
+
+    def test_structure_after_rewrite(self):
+        dag = pipeline_dag()
+        f_id = next(v.vertex_id for v in dag.vertices.values() if v.name == "F")
+        rewritten = parallelize_vertex(dag, f_id, 3)
+        kinds = [v.kind for v in rewritten.vertices.values()]
+        assert kinds.count(VertexKind.SPLIT) == 1
+        assert kinds.count(VertexKind.MERGE) == 1
+        assert kinds.count(VertexKind.OP) == 4  # 3 copies of F + C
+
+    def test_rejects_non_op(self):
+        dag = pipeline_dag()
+        src_id = dag.sources()[0].vertex_id
+        with pytest.raises(DagError):
+            parallelize_vertex(dag, src_id, 2)
+
+    def test_n_one_is_noop(self):
+        dag = pipeline_dag(p1=3)
+        f_id = next(v.vertex_id for v in dag.vertices.values() if v.name == "F")
+        rewritten = parallelize_vertex(dag, f_id, 1)
+        assert len(rewritten.vertices) == len(dag.vertices)
+
+
+class TestDeploy:
+    @given(event_streams())
+    @settings(max_examples=25)
+    def test_corollary_44_full_deployment(self, events):
+        """Corollary 4.4: the deployed DAG is equivalent to the source."""
+        dag = pipeline_dag(p1=2, p2=3)
+        deployed = deploy(dag)
+        base = evaluate_dag(dag, {"src": events}).sink_trace("out", False)
+        got = evaluate_dag(deployed, {"src": events}).sink_trace("out", False)
+        assert got == base
+
+    @given(event_streams())
+    @settings(max_examples=15)
+    def test_deploy_with_override(self, events):
+        dag = pipeline_dag()
+        ops = {v.vertex_id: 2 for v in dag.vertices.values()
+               if v.kind == VertexKind.OP}
+        deployed = deploy(dag, parallelism=ops)
+        base = evaluate_dag(dag, {"src": events}).sink_trace("out", False)
+        got = evaluate_dag(deployed, {"src": events}).sink_trace("out", False)
+        assert got == base
+
+    def test_ordered_pipeline_deployment(self):
+        """SORT >> keyed-ordered parallelizes by key hash, preserving the
+        per-key order (the Figure 1 pipeline in miniature)."""
+
+        class Cumulative(OpKeyedOrdered):
+            def init(self):
+                return 0
+
+            def on_item(self, state, key, value, emit):
+                emit(key, state + value)
+                return state + value
+
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        sort = dag.add_op(SortOp(), parallelism=2, upstream=[src], edge_types=[U])
+        cum = dag.add_op(Cumulative(), parallelism=2, upstream=[sort], edge_types=[O])
+        dag.add_sink("out", upstream=cum, input_type=O)
+
+        events = [KV("a", 3), KV("b", 5), KV("a", 1), Marker(1), KV("a", 2), Marker(2)]
+        base = evaluate_dag(dag, {"src": events}).sink_trace("out", True)
+        deployed = deploy(dag)
+        got = evaluate_dag(deployed, {"src": events}).sink_trace("out", True)
+        assert got == base
+
+
+class TestReorderMergeSplit:
+    def test_reorder_preserves_semantics(self):
+        """MRG_2 >> HASH_2 == per-input HASH then per-channel MRG."""
+        dag = TransductionDAG()
+        a = dag.add_source("a", output_type=U)
+        b = dag.add_source("b", output_type=U)
+        merge = dag.add_merge(Merge(2), upstream=[a, b])
+        split = dag.add_split(HashSplit(2), upstream=merge)
+        x = dag.add_op(tumbling_count("X"), upstream=[split])
+        y = dag.add_op(tumbling_count("Y"), upstream=[split])
+        out_merge = dag.add_merge(Merge(2), upstream=[x, y])
+        dag.add_sink("out", upstream=out_merge)
+        dag.validate()
+
+        inputs = {
+            "a": [KV("a", 1), KV("b", 2), Marker(1)],
+            "b": [KV("c", 3), Marker(1)],
+        }
+        base = evaluate_dag(dag, inputs).sink_trace("out", False)
+        rewritten = reorder_merge_split(dag, merge.vertex_id)
+        got = evaluate_dag(rewritten, inputs).sink_trace("out", False)
+        assert got == base
+        # The rewritten graph has two splitters and three merges.
+        kinds = [v.kind for v in rewritten.vertices.values()]
+        assert kinds.count(VertexKind.SPLIT) == 2
+        assert kinds.count(VertexKind.MERGE) == 3
+
+    def test_reorder_rejects_round_robin(self):
+        dag = TransductionDAG()
+        a = dag.add_source("a", output_type=U)
+        b = dag.add_source("b", output_type=U)
+        merge = dag.add_merge(Merge(2), upstream=[a, b])
+        split = dag.add_split(RoundRobinSplit(2), upstream=merge)
+        x = dag.add_op(IdentityOp(), upstream=[split])
+        y = dag.add_op(IdentityOp(), upstream=[split])
+        out_merge = dag.add_merge(Merge(2), upstream=[x, y])
+        dag.add_sink("out", upstream=out_merge)
+        with pytest.raises(DagError):
+            reorder_merge_split(dag, merge.vertex_id)
+
+
+class TestCopyAndFusion:
+    def test_copy_is_deep_structurally(self):
+        dag = pipeline_dag()
+        clone = copy_dag(dag)
+        clone.add_source("extra", output_type=U)
+        assert len(dag.sources()) == 1
+        assert len(clone.sources()) == 2
+
+    def test_fusion_groups_cover_all_vertices(self):
+        dag = deploy(pipeline_dag(p1=2, p2=2))
+        groups = fuse_linear_chains(dag)
+        flattened = [vid for group in groups for vid in group]
+        assert sorted(flattened) == sorted(dag.vertices)

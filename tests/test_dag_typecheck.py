@@ -1,0 +1,137 @@
+"""The DAG type checker: U/O kinds, subsumption, and the Section 2
+soundness rejections."""
+
+import pytest
+
+from repro.errors import TraceTypeError
+from repro.dag.graph import TransductionDAG
+from repro.dag.typecheck import typecheck_dag
+from repro.operators.base import KV
+from repro.operators.identity import IdentityOp
+from repro.operators.keyed_ordered import OpKeyedOrdered
+from repro.operators.library import map_values, tumbling_count
+from repro.operators.merge import Merge
+from repro.operators.sort import SortOp
+from repro.operators.split import HashSplit, RoundRobinSplit
+from repro.traces.trace_type import ordered_type, unordered_type
+
+U = unordered_type()
+O = ordered_type()
+
+
+class Stateful(OpKeyedOrdered):
+    def init(self):
+        return None
+
+    def on_item(self, state, key, value, emit):
+        emit(key, value)
+        return state
+
+
+class TestAccepts:
+    def test_stateless_pipeline(self):
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        op = dag.add_op(map_values(lambda v: v), upstream=[src], edge_types=[U])
+        dag.add_sink("out", upstream=op, input_type=U)
+        kinds = typecheck_dag(dag)
+        assert set(kinds.values()) == {"U"}
+
+    def test_sort_bridges_u_to_o(self):
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        sort = dag.add_op(SortOp(), upstream=[src], edge_types=[U])
+        li = dag.add_op(Stateful(), upstream=[sort], edge_types=[O])
+        dag.add_sink("out", upstream=li, input_type=O)
+        typecheck_dag(dag)
+
+    def test_stateless_consumes_ordered_by_subsumption(self):
+        """Figure 5: the stateless Map reads LI's ordered output."""
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=O)
+        sort = dag.add_op(SortOp(), upstream=[src], edge_types=[O])
+        mapper = dag.add_op(map_values(lambda v: v), upstream=[sort], edge_types=[O])
+        dag.add_sink("out", upstream=mapper, input_type=U)
+        typecheck_dag(dag)
+
+    def test_inference_fills_unannotated_edges(self):
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        sort = dag.add_op(SortOp(), upstream=[src])
+        li = dag.add_op(Stateful(), upstream=[sort])
+        dag.add_sink("out", upstream=li)
+        kinds = typecheck_dag(dag)
+        (sort_out,) = dag.out_edges(sort)
+        assert kinds[sort_out.edge_id] == "O"
+
+    def test_hash_split_preserves_kind(self):
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=O)
+        split = dag.add_split(HashSplit(2), upstream=src)
+        dag.in_edges(split)[0].trace_type = O
+        a = dag.add_op(Stateful(), upstream=[split])
+        b = dag.add_op(Stateful(), upstream=[split])
+        merge = dag.add_merge(Merge(2), upstream=[a, b])
+        dag.add_sink("out", upstream=merge)
+        kinds = typecheck_dag(dag)
+        for edge in dag.out_edges(split):
+            assert kinds[edge.edge_id] == "O"
+
+
+class TestRejects:
+    def test_keyed_ordered_on_unordered_edge(self):
+        """The Section 2 bug: LI fed an unordered stream."""
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        li = dag.add_op(Stateful(), upstream=[src], edge_types=[U])
+        dag.add_sink("out", upstream=li)
+        with pytest.raises(TraceTypeError) as exc:
+            typecheck_dag(dag)
+        assert "SORT" in str(exc.value) or "ordered" in str(exc.value)
+
+    def test_round_robin_on_ordered_edge(self):
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=O)
+        split = dag.add_split(RoundRobinSplit(2), upstream=src)
+        dag.in_edges(split)[0].trace_type = O
+        a = dag.add_op(IdentityOp(), upstream=[split])
+        b = dag.add_op(IdentityOp(), upstream=[split])
+        merge = dag.add_merge(Merge(2), upstream=[a, b])
+        dag.add_sink("out", upstream=merge)
+        with pytest.raises(TraceTypeError):
+            typecheck_dag(dag)
+
+    def test_round_robin_on_inferred_ordered_edge(self):
+        """Even without an annotation, SORT's output is inferred O and RR
+        on it must be rejected."""
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        sort = dag.add_op(SortOp(), upstream=[src])
+        split = dag.add_split(RoundRobinSplit(2), upstream=sort)
+        a = dag.add_op(IdentityOp(), upstream=[split])
+        b = dag.add_op(IdentityOp(), upstream=[split])
+        merge = dag.add_merge(Merge(2), upstream=[a, b])
+        dag.add_sink("out", upstream=merge)
+        with pytest.raises(TraceTypeError):
+            typecheck_dag(dag)
+
+    def test_merge_of_mixed_kinds(self):
+        dag = TransductionDAG()
+        a = dag.add_source("a", output_type=U)
+        b = dag.add_source("b", output_type=O)
+        merge = dag.add_merge(Merge(2), upstream=[a, b])
+        dag.in_edges(merge)[0].trace_type = U
+        dag.in_edges(merge)[1].trace_type = O
+        dag.add_sink("out", upstream=merge)
+        with pytest.raises(TraceTypeError):
+            typecheck_dag(dag)
+
+    def test_conflicting_annotations(self):
+        dag = TransductionDAG()
+        src = dag.add_source("src", output_type=U)
+        sort = dag.add_op(SortOp(), upstream=[src], edge_types=[U])
+        after = dag.add_op(IdentityOp(), upstream=[sort], edge_types=[U])
+        dag.add_sink("out", upstream=after)
+        # SORT output declared U contradicts its O output kind.
+        with pytest.raises(TraceTypeError):
+            typecheck_dag(dag)

@@ -1,0 +1,146 @@
+"""The in-memory relational substrate (the Derby substitution)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.db import Column, Derby, KeyValueStore, Schema, Table
+
+
+def ads_table():
+    table = Table("ads", Schema([Column("ad_id", int), Column("campaign_id", int)]))
+    table.insert_many((i, i // 10) for i in range(100))
+    return table
+
+
+class TestSchema:
+    def test_column_type_check(self):
+        with pytest.raises(SchemaError):
+            Column("x", int).check("not-an-int")
+
+    def test_untyped_column_accepts_anything(self):
+        Column("x").check(object())
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a"), Column("a")])
+
+    def test_row_arity_checked(self):
+        schema = Schema([Column("a"), Column("b")])
+        with pytest.raises(SchemaError):
+            schema.check_row((1,))
+
+    def test_position_unknown_column(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a")]).position("z")
+
+
+class TestTable:
+    def test_insert_and_len(self):
+        assert len(ads_table()) == 100
+
+    def test_ill_typed_row_rejected(self):
+        table = ads_table()
+        with pytest.raises(SchemaError):
+            table.insert(("x", 1))
+
+    def test_indexed_lookup(self):
+        table = ads_table()
+        table.create_index("ad_id")
+        assert table.lookup_one("ad_id", 42) == (42, 4)
+        assert table.lookup_count == 1
+        assert table.scan_count == 0
+
+    def test_unindexed_lookup_scans(self):
+        table = ads_table()
+        assert table.lookup_one("ad_id", 42) == (42, 4)
+        assert table.scan_count == 1
+
+    def test_lookup_missing(self):
+        table = ads_table()
+        table.create_index("ad_id")
+        assert table.lookup_one("ad_id", 999) is None
+
+    def test_index_built_over_existing_rows(self):
+        table = ads_table()
+        table.create_index("campaign_id")
+        assert len(table.lookup("campaign_id", 3)) == 10
+
+    def test_index_maintained_on_insert(self):
+        table = ads_table()
+        table.create_index("ad_id")
+        table.insert((100, 10))
+        assert table.lookup_one("ad_id", 100) == (100, 10)
+
+    def test_select(self):
+        table = ads_table()
+        rows = table.select(lambda row: row[1] == 0)
+        assert len(rows) == 10
+
+    def test_project(self):
+        table = ads_table()
+        assert table.project((42, 4), ["campaign_id"]) == (4,)
+
+    def test_join(self):
+        campaigns = Table(
+            "campaigns", Schema([Column("cid", int), Column("name", str)])
+        )
+        campaigns.insert_many((i, f"c{i}") for i in range(10))
+        joined = ads_table().join(campaigns, "campaign_id", "cid")
+        assert len(joined) == 100
+        assert joined[0][-1].startswith("c")
+
+
+class TestStore:
+    def test_put_get(self):
+        store = KeyValueStore()
+        store.put("a", 1)
+        assert store.get("a") == 1
+        assert store.get("missing", 99) == 99
+
+    def test_counters(self):
+        store = KeyValueStore()
+        store.put("a", 1)
+        store.put("a", 2)
+        store.get("a")
+        assert store.write_count == 2
+        assert store.read_count == 1
+
+    def test_delete_and_contains(self):
+        store = KeyValueStore()
+        store.put("a", 1)
+        store.delete("a")
+        assert "a" not in store
+        assert len(store) == 0
+
+    def test_snapshot_is_a_copy(self):
+        store = KeyValueStore()
+        store.put("a", 1)
+        snap = store.snapshot()
+        store.put("a", 2)
+        assert snap == {"a": 1}
+
+
+class TestDerby:
+    def test_facade_lookup(self):
+        db = Derby()
+        t = db.create_table("ads", [("ad_id", int), ("campaign_id", int)])
+        t.insert_many((i, i % 3) for i in range(9))
+        t.create_index("ad_id")
+        assert db.lookup("ads", "ad_id", 4) == (4, 1)
+        assert db.total_lookups() == 1
+
+    def test_facade_persist(self):
+        db = Derby()
+        db.create_store("aggregates")
+        db.persist("aggregates", "k", 7)
+        assert db.stores["aggregates"].get("k") == 7
+        assert db.total_writes() == 1
+
+    def test_duplicate_ddl_rejected(self):
+        db = Derby()
+        db.create_table("t", [("a", int)])
+        with pytest.raises(SchemaError):
+            db.create_table("t", [("a", int)])
+        db.create_store("s")
+        with pytest.raises(SchemaError):
+            db.create_store("s")

@@ -1,0 +1,41 @@
+"""Every shipped example must run to completion and print its headline
+result — executable-documentation rot protection."""
+
+import io
+import pathlib
+import runpy
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> a string its output must contain when healthy.
+EXPECTED = {
+    "quickstart.py": "matches the denotation",
+    "trace_algebra.py": "violation found",
+    "iot_interpolation.py": "equals the denotational semantics: True",
+    "yahoo_analytics.py": "compiled run equals denotation: True",
+    "smart_homes_prediction.py": "compiled run equals denotation: True",
+    "extensions_tour.py": "Kahn determinism",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script):
+    path = EXAMPLES / script
+    assert path.exists(), f"example {script} is missing"
+    buffer = io.StringIO()
+    argv = sys.argv
+    try:
+        sys.argv = [str(path)]
+        with redirect_stdout(buffer):
+            runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    output = buffer.getvalue()
+    assert EXPECTED[script] in output, (
+        f"{script} no longer prints its headline result; output was:\n"
+        f"{output[-2000:]}"
+    )

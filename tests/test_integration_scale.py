@@ -1,0 +1,76 @@
+"""Moderate-scale end-to-end run: a realistic workload through the full
+stack (generator -> typed DAG -> compiler -> simulated cluster) with
+exact accounting invariants — conservation of tuples, no duplication,
+simulated-clock sanity."""
+
+import pytest
+
+from repro.apps.yahoo.events import YahooWorkload
+from repro.apps.yahoo.queries import query4, query4_costs
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events
+from repro.dag import evaluate_dag
+from repro.operators.base import KV, Marker
+from repro.storm import Cluster, Simulator
+from repro.storm.local import events_to_trace
+
+
+@pytest.fixture(scope="module")
+def run():
+    workload = YahooWorkload(
+        seconds=10, events_per_second=2000, n_campaigns=50,
+        ads_per_campaign=10, n_users=500,
+    )
+    events = workload.events()
+    dag = query4(workload.make_database(), parallelism=8)
+    compiled = compile_dag(dag, {"events": source_from_events(events, 2)})
+    report = Simulator(
+        compiled.topology, Cluster(4), cost_model=query4_costs(), seed=1
+    ).run()
+    return workload, events, dag, compiled, report
+
+
+class TestScale:
+    def test_all_input_tuples_accounted(self, run):
+        workload, events, dag, compiled, report = run
+        assert report.input_data_tuples == workload.total_data_tuples()
+        # Every data tuple is processed exactly once by stage 1 plus the
+        # markers each of the two spout tasks broadcasts to 8 tasks.
+        expected_markers = 2 * 8 * workload.seconds
+        assert report.processed["FilterMap"] == (
+            workload.total_data_tuples() + expected_markers
+        )
+
+    def test_output_trace_matches_denotation(self, run):
+        workload, events, dag, compiled, report = run
+        expected = evaluate_dag(dag, {"events": events}).sink_trace(
+            "SINK", False
+        )
+        got = events_to_trace(compiled.sinks["SINK"].aligned_events, False)
+        assert got == expected
+
+    def test_window_counts_conserve_views(self, run):
+        workload, events, dag, compiled, report = run
+        views = sum(
+            1 for e in events
+            if isinstance(e, KV) and e.value.event_type == "view"
+        )
+        trace = events_to_trace(compiled.sinks["SINK"].aligned_events, False)
+        final_block = trace.blocks[workload.seconds - 1]
+        assert sum(v for _, v in final_block.pairs()) == views
+
+    def test_clock_sanity(self, run):
+        workload, events, dag, compiled, report = run
+        # Makespan must at least cover the critical per-task DB work.
+        per_task_floor = (
+            workload.total_data_tuples() / 8 * 30e-6
+        )
+        assert report.makespan >= per_task_floor * 0.9
+        # And the cluster cannot do better than its total core rate.
+        total_work = workload.total_data_tuples() * 31e-6
+        assert report.makespan >= total_work / (4 * 2) * 0.9
+
+    def test_utilization_bounded(self, run):
+        _, _, _, _, report = run
+        for machine in range(4):
+            assert 0.0 <= report.utilization(machine) <= 1.0

@@ -1,0 +1,149 @@
+"""Stream-stream block joins, top-k, and distinct counts — template
+discipline maintained (consistency under block shuffles)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators.base import KV, Marker
+from repro.operators.joins import (
+    LEFT,
+    RIGHT,
+    BlockJoin,
+    DistinctCount,
+    TopK,
+    tag_side,
+)
+from repro.traces.blocks import BlockTrace
+
+from conftest import shuffle_within_blocks
+
+
+def kvs(events):
+    return [e for e in events if isinstance(e, KV)]
+
+
+class TestTagSide:
+    def test_tags_values(self):
+        op = tag_side(LEFT)
+        assert op.run([KV("k", 5)]) == [KV("k", (LEFT, 5))]
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            tag_side("M")
+
+
+class TestBlockJoin:
+    def test_basic_join(self):
+        op = BlockJoin()
+        out = op.run([
+            KV("k", (LEFT, 1)), KV("k", (RIGHT, "a")),
+            KV("k", (LEFT, 2)), Marker(1),
+        ])
+        pairs = sorted(e.value for e in kvs(out))
+        assert pairs == [(1, "a"), (2, "a")]
+
+    def test_join_is_per_key(self):
+        op = BlockJoin()
+        out = op.run([
+            KV("k1", (LEFT, 1)), KV("k2", (RIGHT, "x")), Marker(1),
+        ])
+        assert kvs(out) == []  # no key has both sides
+
+    def test_join_is_per_block(self):
+        op = BlockJoin()
+        out = op.run([
+            KV("k", (LEFT, 1)), Marker(1), KV("k", (RIGHT, "a")), Marker(2),
+        ])
+        assert kvs(out) == []  # sides in different blocks never meet
+
+    def test_projection(self):
+        op = BlockJoin(project=lambda key, l, r: l + r)
+        out = op.run([KV("k", (LEFT, 10)), KV("k", (RIGHT, 5)), Marker(1)])
+        assert kvs(out) == [KV("k", 15)]
+
+    def test_multiplicity(self):
+        op = BlockJoin()
+        out = op.run([
+            KV("k", (LEFT, 1)), KV("k", (LEFT, 1)),
+            KV("k", (RIGHT, "a")), Marker(1),
+        ])
+        assert len(kvs(out)) == 2  # bag semantics: duplicates join twice
+
+    def test_consistency_under_block_shuffles(self):
+        rng = random.Random(7)
+        events = [
+            KV("a", (LEFT, 1)), KV("a", (RIGHT, "x")), KV("b", (LEFT, 9)),
+            KV("a", (LEFT, 2)), KV("b", (RIGHT, "y")), Marker(1),
+            KV("a", (RIGHT, "z")), KV("a", (LEFT, 3)), Marker(2),
+        ]
+        base = BlockTrace.from_events(False, BlockJoin().run(events))
+        for _ in range(6):
+            shuffled = shuffle_within_blocks(events, rng)
+            got = BlockTrace.from_events(False, BlockJoin().run(shuffled))
+            assert got == base
+
+
+class TestTopK:
+    def test_top2(self):
+        op = TopK(2)
+        out = op.run([KV("k", 3), KV("k", 9), KV("k", 5), Marker(1)])
+        assert kvs(out) == [KV("k", (9, 5))]
+
+    def test_fewer_than_k(self):
+        op = TopK(3)
+        out = op.run([KV("k", 1), Marker(1)])
+        assert kvs(out) == [KV("k", (1,))]
+
+    def test_custom_sort_key(self):
+        op = TopK(1, sort_key=len)
+        out = op.run([KV("k", "aa"), KV("k", "bbbb"), Marker(1)])
+        assert kvs(out) == [KV("k", ("bbbb",))]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopK(0)
+
+    def test_combine_associative_commutative_with_ties(self):
+        # Monoid elements are descending-sorted top-k tuples.
+        op = TopK(2)
+        monoid = op.monoid()
+        assert monoid.spot_check([(3,), (5, 3), (5, 5), (9, 1), ()])
+
+    @given(st.lists(st.integers(0, 9), max_size=12))
+    @settings(max_examples=40)
+    def test_matches_sorted_oracle(self, values):
+        op = TopK(3)
+        events = [KV("k", v) for v in values] + [Marker(1)]
+        out = kvs(op.run(events))
+        if not values:
+            assert out == []
+        else:
+            expected = tuple(sorted(values, reverse=True)[:3])
+            assert out[0].value == expected
+
+
+class TestDistinctCount:
+    def test_counts_distinct_per_block(self):
+        op = DistinctCount()
+        out = op.run([
+            KV("k", 1), KV("k", 1), KV("k", 2), Marker(1),
+            KV("k", 1), Marker(2),
+        ])
+        assert kvs(out) == [KV("k", 2), KV("k", 1)]
+
+    def test_per_key_isolation(self):
+        op = DistinctCount()
+        out = op.run([KV("a", 1), KV("b", 1), Marker(1)])
+        assert sorted((e.key, e.value) for e in kvs(out)) == [("a", 1), ("b", 1)]
+
+    def test_consistency_under_block_shuffles(self):
+        rng = random.Random(11)
+        events = [KV("a", i % 3) for i in range(10)] + [Marker(1)]
+        base = BlockTrace.from_events(False, DistinctCount().run(events))
+        for _ in range(5):
+            shuffled = shuffle_within_blocks(events, rng)
+            got = BlockTrace.from_events(False, DistinctCount().run(shuffled))
+            assert got == base

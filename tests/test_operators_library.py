@@ -1,0 +1,149 @@
+"""The derived operator library: maps, filters, window aggregates, joins."""
+
+import pytest
+
+from repro.operators.base import KV, Marker
+from repro.operators.library import (
+    KeyedSequenceOp,
+    RunningAggregate,
+    SlidingAggregate,
+    TableJoin,
+    TumblingAggregate,
+    filter_items,
+    flat_map,
+    map_pairs,
+    map_values,
+    rekey,
+    sliding_count,
+    tumbling_count,
+)
+
+
+def kvs(events):
+    return [e for e in events if isinstance(e, KV)]
+
+
+class TestStatelessHelpers:
+    def test_map_values(self):
+        op = map_values(lambda v: v + 1)
+        assert op.run([KV("a", 1)]) == [KV("a", 2)]
+
+    def test_map_pairs(self):
+        op = map_pairs(lambda k, v: (v, k))
+        assert op.run([KV("a", 1)]) == [KV(1, "a")]
+
+    def test_filter_items(self):
+        op = filter_items(lambda k, v: v > 0)
+        assert op.run([KV("a", 1), KV("a", -1)]) == [KV("a", 1)]
+
+    def test_rekey(self):
+        op = rekey(lambda k, v: v % 2)
+        assert op.run([KV("x", 3)]) == [KV(1, 3)]
+
+    def test_flat_map(self):
+        op = flat_map(lambda k, v: [(k, i) for i in range(v)])
+        assert op.run([KV("a", 3)]) == [KV("a", 0), KV("a", 1), KV("a", 2)]
+
+    def test_table_join_drop_and_enrich(self):
+        table = {"x": 10}
+        op = TableJoin(
+            lambda k, v: [(k, table[v])] if v in table else [], name="join"
+        )
+        assert op.run([KV("a", "x"), KV("a", "missing")]) == [KV("a", 10)]
+
+
+class TestTumbling:
+    def test_counts_per_block(self):
+        op = tumbling_count()
+        out = op.run([KV("a", 1), KV("a", 2), Marker(1), KV("a", 3), Marker(2)])
+        assert kvs(out) == [KV("a", 2), KV("a", 1)]
+
+    def test_no_emission_for_idle_keys(self):
+        op = tumbling_count()
+        out = op.run([KV("a", 1), Marker(1), KV("b", 1), Marker(2)])
+        # Block 2 must report b only; a was idle.
+        block2 = kvs(out[out.index(Marker(1)) + 1 :])
+        assert block2 == [KV("b", 1)]
+
+    def test_emit_empty_flag(self):
+        op = TumblingAggregate(
+            inject=lambda k, v: 1,
+            identity_elem=0,
+            combine_fn=lambda x, y: x + y,
+            finish=lambda key, total, ts: total,
+            emit_empty=True,
+        )
+        out = op.run([KV("a", 1), Marker(1), Marker(2)])
+        assert kvs(out) == [KV("a", 1), KV("a", 0)]
+
+    def test_finish_none_suppresses(self):
+        op = TumblingAggregate(
+            inject=lambda k, v: v,
+            identity_elem=0,
+            combine_fn=lambda x, y: x + y,
+            finish=lambda key, total, ts: total if total > 5 else None,
+        )
+        out = op.run([KV("a", 3), Marker(1), KV("a", 9), Marker(2)])
+        assert kvs(out) == [KV("a", 9)]
+
+    def test_finish_sees_marker_timestamp(self):
+        stamps = []
+        op = TumblingAggregate(
+            inject=lambda k, v: 1,
+            identity_elem=0,
+            combine_fn=lambda x, y: x + y,
+            finish=lambda key, total, ts: stamps.append(ts),
+        )
+        op.run([KV("a", 1), Marker(42)])
+        assert stamps == [42]
+
+
+class TestSliding:
+    def test_window_spans_blocks(self):
+        op = sliding_count(3)
+        out = op.run(
+            [KV("a", 1), Marker(1), KV("a", 1), Marker(2), Marker(3), Marker(4), Marker(5)]
+        )
+        assert kvs(out) == [KV("a", 1), KV("a", 2), KV("a", 2), KV("a", 1)]
+        # window [2,3,4] still holds the block-2 item; [3,4,5] holds none.
+
+    def test_window_one_equals_tumbling(self):
+        events = [KV("a", 2), Marker(1), KV("a", 5), KV("a", 1), Marker(2)]
+        sliding = sliding_count(1).run(events)
+        tumbling = tumbling_count().run(events)
+        assert kvs(sliding) == kvs(tumbling)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            sliding_count(0)
+
+
+class TestRunning:
+    def test_whole_history(self):
+        op = RunningAggregate(
+            inject=lambda k, v: v,
+            identity_elem=0,
+            combine_fn=lambda x, y: x + y,
+            finish=lambda key, total, ts: total,
+        )
+        out = op.run([KV("a", 2), Marker(1), KV("a", 3), Marker(2), Marker(3)])
+        assert kvs(out) == [KV("a", 2), KV("a", 5), KV("a", 5)]
+
+
+class TestKeyedSequenceOp:
+    def test_step_function_adapter(self):
+        op = KeyedSequenceOp(
+            initial=lambda: 0,
+            step=lambda state, value: (state + value, [state + value]),
+        )
+        out = op.run([KV("a", 1), KV("a", 2), KV("b", 10)])
+        assert out == [KV("a", 1), KV("a", 3), KV("b", 10)]
+
+    def test_marker_step(self):
+        op = KeyedSequenceOp(
+            initial=lambda: 0,
+            step=lambda state, value: (state + value, []),
+            marker_step=lambda state, ts: (0, [state]),
+        )
+        out = op.run([KV("a", 5), Marker(1), KV("a", 2), Marker(2)])
+        assert kvs(out) == [KV("a", 5), KV("a", 2)]

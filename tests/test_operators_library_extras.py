@@ -1,0 +1,104 @@
+"""Table 2's maxOfAvgPerID (verbatim) and session windows."""
+
+import random
+
+import pytest
+
+from repro.operators.base import KV, Marker
+from repro.operators.library import MaxOfAvgPerKey, Sessionize
+from repro.operators.validate import validate_operator
+from repro.traces.blocks import BlockTrace
+
+from conftest import shuffle_within_blocks
+
+
+def kvs(events):
+    return [e for e in events if isinstance(e, KV)]
+
+
+class TestMaxOfAvgPerKey:
+    def test_table2_semantics(self):
+        """Average per block, running max of averages, stamped ts-1."""
+        op = MaxOfAvgPerKey()
+        out = op.run([
+            KV("s", 10.0), KV("s", 20.0), Marker(1),   # avg 15
+            KV("s", 2.0), Marker(2),                   # avg 2, max stays 15
+            KV("s", 40.0), Marker(3),                  # avg 40, new max
+        ])
+        assert kvs(out) == [
+            KV("s", (15.0, 0)), KV("s", (15.0, 1)), KV("s", (40.0, 2)),
+        ]
+
+    def test_empty_block_keeps_state(self):
+        op = MaxOfAvgPerKey()
+        out = op.run([KV("s", 6.0), Marker(1), Marker(2)])
+        assert kvs(out) == [KV("s", (6.0, 0)), KV("s", (6.0, 1))]
+
+    def test_no_emission_before_any_data(self):
+        op = MaxOfAvgPerKey()
+        out = op.run([Marker(1)])
+        assert kvs(out) == []
+
+    def test_per_key_isolation(self):
+        op = MaxOfAvgPerKey()
+        out = op.run([KV("a", 1.0), KV("b", 9.0), Marker(1)])
+        assert sorted((e.key, e.value[0]) for e in kvs(out)) == [
+            ("a", 1.0), ("b", 9.0),
+        ]
+
+    def test_template_laws(self):
+        validate_operator(MaxOfAvgPerKey())
+
+    def test_consistency_under_block_shuffles(self):
+        rng = random.Random(3)
+        events = [
+            KV("a", 5.0), KV("a", 7.0), KV("b", 1.0), Marker(1),
+            KV("a", 2.0), KV("b", 8.0), KV("b", 2.0), Marker(2),
+        ]
+        base = BlockTrace.from_events(False, MaxOfAvgPerKey().run(events))
+        for _ in range(6):
+            shuffled = shuffle_within_blocks(events, rng)
+            got = BlockTrace.from_events(False, MaxOfAvgPerKey().run(shuffled))
+            assert got == base
+
+
+class TestSessionize:
+    def test_gap_closes_session(self):
+        op = Sessionize(gap=2)
+        out = op.run([
+            KV("u", ("a", 1)), KV("u", ("b", 2)), KV("u", ("c", 7)),
+        ])
+        assert kvs(out) == [KV("u", (1, 2, ("a", "b")))]
+
+    def test_watermark_flushes_final_session(self):
+        op = Sessionize(gap=2)
+        out = op.run([KV("u", ("a", 1)), Marker(10)])
+        assert kvs(out) == [KV("u", (1, 1, ("a",)))]
+
+    def test_marker_within_gap_keeps_session_open(self):
+        op = Sessionize(gap=5)
+        out = op.run([KV("u", ("a", 8)), Marker(10), KV("u", ("b", 11)), Marker(20)])
+        assert kvs(out) == [KV("u", (8, 11, ("a", "b")))]
+
+    def test_per_key_sessions(self):
+        op = Sessionize(gap=1)
+        out = op.run([
+            KV("u1", ("x", 1)), KV("u2", ("y", 1)),
+            KV("u1", ("x2", 5)), Marker(10),
+        ])
+        emitted = sorted((e.key, e.value) for e in kvs(out))
+        assert emitted == [
+            ("u1", (1, 1, ("x",))),
+            ("u1", (5, 5, ("x2",))),
+            ("u2", (1, 1, ("y",))),
+        ]
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            Sessionize(gap=0)
+
+    def test_key_preservation_holds(self):
+        # OpKeyedOrdered enforcement is active: emit under the input key.
+        op = Sessionize(gap=1)
+        out = op.run([KV("k", ("v", 1)), Marker(5)])
+        assert all(e.key == "k" for e in kvs(out))

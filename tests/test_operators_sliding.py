@@ -1,0 +1,162 @@
+"""The specialized sliding-window template and its window algorithms
+(the conclusion's proposed template extension)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators.base import KV, Marker
+from repro.operators.library import sliding_count
+from repro.operators.sliding import OpSlidingWindow, sliding_max, sliding_window
+from repro.operators.window_algorithms import (
+    RecomputeAggregator,
+    TwoStacksAggregator,
+    make_aggregator,
+)
+from repro.traces.blocks import BlockTrace
+
+from conftest import event_streams, shuffle_within_blocks
+
+
+class TestWindowAlgorithms:
+    @pytest.mark.parametrize("algorithm", ["two-stacks", "recompute"])
+    def test_basic_fifo_aggregation(self, algorithm):
+        agg = make_aggregator(0, lambda a, b: a + b, algorithm)
+        for v in (1, 2, 3):
+            agg.insert(v)
+        assert agg.query() == 6
+        assert agg.evict() == 1
+        assert agg.query() == 5
+        assert len(agg) == 2
+
+    def test_two_stacks_empty_query(self):
+        agg = TwoStacksAggregator(0, lambda a, b: a + b)
+        assert agg.query() == 0
+
+    def test_two_stacks_evict_empty_raises(self):
+        agg = TwoStacksAggregator(0, lambda a, b: a + b)
+        with pytest.raises(IndexError):
+            agg.evict()
+
+    def test_non_invertible_monoid_max(self):
+        agg = TwoStacksAggregator(float("-inf"), max)
+        for v in (5, 9, 3):
+            agg.insert(v)
+        assert agg.query() == 9
+        agg.evict()  # 5
+        assert agg.query() == 9
+        agg.evict()  # 9
+        assert agg.query() == 3
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            make_aggregator(0, lambda a, b: a + b, "magic")
+
+    @given(st.lists(st.sampled_from("IIIEQ"), min_size=1, max_size=200),
+           st.data())
+    @settings(max_examples=50)
+    def test_two_stacks_equals_recompute_oracle(self, ops, data):
+        """Random op sequences over a NON-commutative monoid (string
+        concatenation) — window order must be preserved exactly."""
+        two = TwoStacksAggregator("", lambda a, b: a + b)
+        ref = RecomputeAggregator("", lambda a, b: a + b)
+        counter = 0
+        for op in ops:
+            if op == "I":
+                value = chr(97 + counter % 26)
+                counter += 1
+                two.insert(value)
+                ref.insert(value)
+            elif op == "E" and len(ref):
+                assert two.evict() == ref.evict()
+            assert two.query() == ref.query()
+            assert len(two) == len(ref)
+
+
+class TestSlidingWindowTemplate:
+    def test_sliding_sum(self):
+        op = sliding_window(
+            2, inject=lambda k, v: v, identity_elem=0,
+            combine_fn=lambda a, b: a + b,
+        )
+        out = op.run([
+            KV("a", 1), Marker(1), KV("a", 10), Marker(2), Marker(3), Marker(4),
+        ])
+        assert [e for e in out if isinstance(e, KV)] == [
+            KV("a", 1), KV("a", 11), KV("a", 10),
+        ]
+
+    def test_matches_library_sliding_count(self):
+        """The specialized template must agree with the OpKeyedUnordered
+        formulation on counting."""
+        events = [
+            KV("a", 1), KV("b", 2), Marker(1), KV("a", 3), Marker(2),
+            KV("b", 4), KV("b", 5), Marker(3), Marker(4),
+        ]
+        specialized = sliding_window(
+            3, inject=lambda k, v: 1, identity_elem=0,
+            combine_fn=lambda a, b: a + b,
+        )
+        library_form = sliding_count(3)
+        left = BlockTrace.from_events(False, specialized.run(events))
+        right = BlockTrace.from_events(False, library_form.run(events))
+        assert left == right
+
+    def test_sliding_max_non_invertible(self):
+        op = sliding_max(2)
+        out = op.run([
+            KV("a", 9), Marker(1), KV("a", 1), Marker(2), Marker(3),
+        ])
+        assert [e for e in out if isinstance(e, KV)] == [
+            KV("a", 9), KV("a", 9), KV("a", 1),
+        ]
+
+    def test_algorithms_agree(self):
+        events = [KV("k", i % 7) for i in range(30)]
+        stream = []
+        for i, e in enumerate(events):
+            stream.append(e)
+            if i % 5 == 4:
+                stream.append(Marker(i // 5 + 1))
+        for window in (1, 2, 4):
+            fast = sliding_window(
+                window, lambda k, v: v, 0, lambda a, b: a + b,
+                algorithm="two-stacks",
+            )
+            slow = sliding_window(
+                window, lambda k, v: v, 0, lambda a, b: a + b,
+                algorithm="recompute",
+            )
+            assert BlockTrace.from_events(False, fast.run(stream)) == \
+                BlockTrace.from_events(False, slow.run(stream))
+
+    def test_finish_hook(self):
+        op = sliding_window(
+            1, lambda k, v: v, 0, lambda a, b: a + b,
+            finish=lambda key, agg, ts: (agg, ts),
+        )
+        out = op.run([KV("a", 5), Marker(7)])
+        assert [e for e in out if isinstance(e, KV)] == [KV("a", (5, 7))]
+
+    def test_invalid_window(self):
+        op = sliding_window(0, lambda k, v: v, 0, lambda a, b: a + b)
+        with pytest.raises(ValueError):
+            op.initial_state()
+
+    def test_type_kinds(self):
+        assert OpSlidingWindow.input_kind == "U"
+        assert OpSlidingWindow.output_kind == "U"
+
+    @given(event_streams())
+    @settings(max_examples=40)
+    def test_consistency_under_block_shuffles(self, events):
+        """Theorem 4.2 extended to the new template: equivalent inputs
+        (block-wise shuffles) give equivalent outputs."""
+        rng = random.Random(41)
+        op = sliding_window(2, lambda k, v: v, 0, lambda a, b: a + b)
+        base = BlockTrace.from_events(False, op.run(events))
+        for _ in range(5):
+            shuffled = shuffle_within_blocks(events, rng)
+            assert BlockTrace.from_events(False, op.run(shuffled)) == base

@@ -1,0 +1,225 @@
+"""Structural operators: MRG, RR, HASH, UNQ, SORT, identity — including
+the splitter law SPLIT >> MRG = id (Section 4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SimulationError
+from repro.operators.base import KV, Marker
+from repro.operators.identity import IdentityOp, identity_op
+from repro.operators.merge import Merge
+from repro.operators.sort import SortOp
+from repro.operators.split import (
+    HashSplit,
+    RoundRobinSplit,
+    Splitter,
+    UnqSplit,
+    default_key_hash,
+)
+from repro.traces.blocks import BlockTrace
+
+from conftest import event_streams
+
+
+def run_splitter(splitter, events):
+    """Split an event list into per-channel lists."""
+    state = splitter.initial_state()
+    channels = [[] for _ in range(splitter.n_outputs)]
+    for event in events:
+        for channel, out in splitter.handle(state, event):
+            channels[channel].append(out)
+    return channels
+
+
+def run_merge(merge, channels, rng=None):
+    """Merge per-channel lists with a (seeded) random interleaving."""
+    state = merge.initial_state()
+    cursors = [0] * len(channels)
+    out = []
+    rng = rng or random.Random(0)
+    while any(cursors[i] < len(channels[i]) for i in range(len(channels))):
+        live = [i for i in range(len(channels)) if cursors[i] < len(channels[i])]
+        i = rng.choice(live)
+        out.extend(merge.handle(state, i, channels[i][cursors[i]]))
+        cursors[i] += 1
+    return out
+
+
+class TestMerge:
+    def test_single_channel_passthrough(self):
+        m = Merge(1)
+        state = m.initial_state()
+        out = []
+        for event in [KV("a", 1), Marker(1), KV("a", 2)]:
+            out.extend(m.handle(state, 0, event))
+        assert out == [KV("a", 1), Marker(1), KV("a", 2)]
+
+    def test_marker_alignment(self):
+        m = Merge(2)
+        state = m.initial_state()
+        out = []
+        out += m.handle(state, 0, Marker(1))
+        assert out == []  # channel 1 has not delivered marker 1 yet
+        out += m.handle(state, 1, KV("b", 1))
+        out += m.handle(state, 1, Marker(1))
+        assert out == [KV("b", 1), Marker(1)]
+
+    def test_items_from_ahead_channel_buffered(self):
+        m = Merge(2)
+        state = m.initial_state()
+        out = []
+        out += m.handle(state, 0, Marker(1))
+        out += m.handle(state, 0, KV("a", 99))  # belongs to block 2
+        assert out == []
+        out += m.handle(state, 1, Marker(1))
+        assert out == [Marker(1), KV("a", 99)]
+
+    def test_multiple_blocks_ahead(self):
+        m = Merge(2)
+        state = m.initial_state()
+        out = []
+        for ts in (1, 2, 3):
+            out += m.handle(state, 0, KV("a", ts))
+            out += m.handle(state, 0, Marker(ts))
+        assert out == [KV("a", 1)]
+        for ts in (1, 2, 3):
+            out += m.handle(state, 1, Marker(ts))
+        markers = [e for e in out if isinstance(e, Marker)]
+        assert markers == [Marker(1), Marker(2), Marker(3)]
+        values = [e.value for e in out if isinstance(e, KV)]
+        assert values == [1, 2, 3]
+
+    def test_misaligned_timestamps_detected(self):
+        m = Merge(2)
+        state = m.initial_state()
+        m.handle(state, 0, Marker(1))
+        with pytest.raises(SimulationError):
+            m.handle(state, 1, Marker(7))
+
+    def test_channel_out_of_range(self):
+        m = Merge(2)
+        with pytest.raises(SimulationError):
+            m.handle(m.initial_state(), 5, KV("a", 1))
+
+    def test_at_least_one_input(self):
+        with pytest.raises(ValueError):
+            Merge(0)
+
+    @given(event_streams())
+    @settings(max_examples=40)
+    def test_merge_output_interleaving_invariant(self, events):
+        """Any interleaving of the same channels yields the same trace."""
+        channels = run_splitter(RoundRobinSplit(3), events)
+        base = None
+        for seed in range(4):
+            out = run_merge(Merge(3), channels, random.Random(seed))
+            trace = BlockTrace.from_events(False, out)
+            if base is None:
+                base = trace
+            else:
+                assert trace == base
+
+
+class TestSplitters:
+    def test_round_robin_balances(self):
+        events = [KV("k", i) for i in range(9)]
+        channels = run_splitter(RoundRobinSplit(3), events)
+        assert [len(c) for c in channels] == [3, 3, 3]
+
+    def test_markers_broadcast(self):
+        channels = run_splitter(RoundRobinSplit(2), [KV("a", 1), Marker(1)])
+        assert Marker(1) in channels[0] and Marker(1) in channels[1]
+
+    def test_hash_split_keeps_keys_together(self):
+        events = [KV(k, i) for i in range(20) for k in ("a", "b", "c")]
+        channels = run_splitter(HashSplit(4), events)
+        for key in ("a", "b", "c"):
+            hosting = [
+                i
+                for i, channel in enumerate(channels)
+                if any(isinstance(e, KV) and e.key == key for e in channel)
+            ]
+            assert len(hosting) == 1
+
+    def test_hash_split_deterministic(self):
+        events = [KV("a", 1), KV("b", 2)]
+        assert run_splitter(HashSplit(3), events) == run_splitter(
+            HashSplit(3), events
+        )
+
+    def test_unq_routes_everything_to_zero(self):
+        channels = run_splitter(UnqSplit(3), [KV("a", 1), KV("b", 2), Marker(1)])
+        assert [e for e in channels[1] if isinstance(e, KV)] == []
+        assert len([e for e in channels[0] if isinstance(e, KV)]) == 2
+
+    def test_splitter_requires_positive_fanout(self):
+        with pytest.raises(ValueError):
+            RoundRobinSplit(0)
+
+    @given(event_streams())
+    @settings(max_examples=40)
+    def test_split_then_merge_is_identity_rr(self, events):
+        channels = run_splitter(RoundRobinSplit(3), events)
+        merged = run_merge(Merge(3), channels, random.Random(2))
+        assert BlockTrace.from_events(False, merged) == BlockTrace.from_events(
+            False, events
+        )
+
+    @given(event_streams())
+    @settings(max_examples=40)
+    def test_split_then_merge_is_identity_hash(self, events):
+        channels = run_splitter(HashSplit(3), events)
+        merged = run_merge(Merge(3), channels, random.Random(2))
+        assert BlockTrace.from_events(False, merged) == BlockTrace.from_events(
+            False, events
+        )
+
+    def test_default_key_hash_stability(self):
+        # Known FNV-1a-derived values must be stable across runs/platforms.
+        assert default_key_hash("a") == default_key_hash("a")
+        assert default_key_hash(("x", 1)) == default_key_hash(("x", 1))
+        assert default_key_hash("a") != default_key_hash("b")
+
+
+class TestSort:
+    def test_sorts_per_key_between_markers(self):
+        op = SortOp()
+        out = op.run(
+            [KV("a", 3), KV("a", 1), KV("b", 2), Marker(1), KV("a", 9), Marker(2)]
+        )
+        a_values = [e.value for e in out if isinstance(e, KV) and e.key == "a"]
+        assert a_values == [1, 3, 9]
+
+    def test_custom_sort_key(self):
+        op = SortOp(sort_key=lambda v: v[1])
+        out = op.run([KV("a", ("x", 9)), KV("a", ("y", 1)), Marker(1)])
+        assert [e.value for e in out if isinstance(e, KV)] == [("y", 1), ("x", 9)]
+
+    def test_output_canonical_under_input_shuffle(self):
+        events = [KV("a", 3), KV("b", 7), KV("a", 1), Marker(1)]
+        shuffled = [KV("a", 1), KV("a", 3), KV("b", 7), Marker(1)]
+        assert SortOp().run(events) == SortOp().run(shuffled)
+
+    def test_does_not_emit_before_marker(self):
+        op = SortOp()
+        state = op.initial_state()
+        assert op.handle(state, KV("a", 1)) == []
+        out = op.handle(state, Marker(1))
+        assert out == [KV("a", 1), Marker(1)]
+
+    def test_duplicate_sort_keys_stable_canonical(self):
+        out1 = SortOp(sort_key=lambda v: 0).run([KV("a", 2), KV("a", 1), Marker(1)])
+        out2 = SortOp(sort_key=lambda v: 0).run([KV("a", 1), KV("a", 2), Marker(1)])
+        assert out1 == out2
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        events = [KV("a", 1), Marker(1)]
+        assert identity_op().run(events) == events
+
+    def test_kind_polymorphic(self):
+        assert IdentityOp.input_kind is None
+        assert IdentityOp.output_kind is None

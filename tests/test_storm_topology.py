@@ -1,0 +1,109 @@
+"""Topology building and validation (the Storm-level API)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.operators.base import KV, Marker
+from repro.storm.topology import (
+    Bolt,
+    CaptureBolt,
+    IteratorSpout,
+    OutputCollector,
+    TopologyBuilder,
+)
+from repro.storm.tuples import StormTuple
+
+
+class Forward(Bolt):
+    def execute(self, state, tup, collector):
+        collector.emit(tup.event)
+
+
+def simple_builder():
+    builder = TopologyBuilder("t")
+    builder.set_spout("src", IteratorSpout(lambda i, n: iter([KV("a", 1)])), 1)
+    return builder
+
+
+class TestBuilder:
+    def test_build_simple(self):
+        builder = simple_builder()
+        builder.set_bolt("fwd", Forward(), 2).shuffle_grouping("src")
+        topology = builder.build()
+        assert set(topology.components) == {"src", "fwd"}
+        assert topology.components["fwd"].parallelism == 2
+
+    def test_duplicate_names_rejected(self):
+        builder = simple_builder()
+        with pytest.raises(TopologyError):
+            builder.set_spout("src", IteratorSpout(lambda i, n: iter([])), 1)
+
+    def test_unknown_upstream_rejected(self):
+        builder = simple_builder()
+        builder.set_bolt("fwd", Forward(), 1).shuffle_grouping("ghost")
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_duplicate_grouping_rejected(self):
+        builder = simple_builder()
+        declarer = builder.set_bolt("fwd", Forward(), 1)
+        declarer.shuffle_grouping("src")
+        with pytest.raises(TopologyError):
+            declarer.global_grouping("src")
+
+    def test_cycle_rejected(self):
+        builder = simple_builder()
+        builder.set_bolt("a", Forward(), 1).shuffle_grouping("src").shuffle_grouping("b")
+        builder.set_bolt("b", Forward(), 1).shuffle_grouping("a")
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_zero_parallelism_rejected(self):
+        builder = simple_builder()
+        builder.set_bolt("fwd", Forward(), 0).shuffle_grouping("src")
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_downstream_of(self):
+        builder = simple_builder()
+        builder.set_bolt("fwd", Forward(), 1).shuffle_grouping("src")
+        topology = builder.build()
+        consumers = topology.downstream_of("src")
+        assert [name for name, _ in consumers] == ["fwd"]
+        assert topology.downstream_of("fwd") == []
+
+
+class TestSpoutsAndBolts:
+    def test_iterator_spout_partition_args(self):
+        seen = []
+
+        def make(task, n):
+            seen.append((task, n))
+            return iter([])
+
+        spout = IteratorSpout(make)
+        spout.open(2, 4)
+        assert seen == [(2, 4)]
+
+    def test_iterator_spout_drains(self):
+        spout = IteratorSpout(lambda i, n: iter([KV("a", 1), Marker(1)]))
+        spout.open(0, 1)
+        collector = OutputCollector()
+        assert spout.next_tuple(collector) is True
+        assert spout.next_tuple(collector) is True
+        assert spout.next_tuple(collector) is False
+        assert collector.drain() == [KV("a", 1), Marker(1)]
+
+    def test_capture_bolt_records(self):
+        bolt = CaptureBolt()
+        bolt.prepare(0, 1)
+        tup = StormTuple(KV("a", 1), "src", 0)
+        bolt.execute(None, tup, OutputCollector())
+        assert bolt.events() == [KV("a", 1)]
+
+    def test_capture_bolt_resets_on_prepare(self):
+        bolt = CaptureBolt()
+        bolt.prepare(0, 1)
+        bolt.execute(None, StormTuple(KV("a", 1), "src", 0), OutputCollector())
+        bolt.prepare(0, 1)
+        assert bolt.events() == []

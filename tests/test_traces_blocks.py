@@ -1,0 +1,168 @@
+"""Block representation of U/O traces, and its agreement with the
+general canonical-form machinery."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TraceTypeError
+from repro.operators.base import KV, Marker
+from repro.traces.blocks import Block, BlockTrace
+from repro.traces.items import kv_item, marker
+from repro.traces.trace import DataTrace
+
+from conftest import event_streams
+
+
+class TestBlock:
+    def test_unordered_block_is_a_bag(self):
+        a, b = Block(False), Block(False)
+        a.add("x", 1)
+        a.add("y", 2)
+        b.add("y", 2)
+        b.add("x", 1)
+        assert a == b
+
+    def test_unordered_multiplicity_matters(self):
+        a, b = Block(False), Block(False)
+        a.add("x", 1)
+        a.add("x", 1)
+        b.add("x", 1)
+        assert a != b
+
+    def test_ordered_block_orders_per_key(self):
+        a, b = Block(True), Block(True)
+        a.add("x", 1)
+        a.add("x", 2)
+        b.add("x", 2)
+        b.add("x", 1)
+        assert a != b
+
+    def test_ordered_block_cross_key_unordered(self):
+        a, b = Block(True), Block(True)
+        a.add("x", 1)
+        a.add("y", 2)
+        b.add("y", 2)
+        b.add("x", 1)
+        assert a == b
+
+    def test_merge_from(self):
+        a, b = Block(False), Block(False)
+        a.add("x", 1)
+        b.add("y", 2)
+        a.merge_from(b)
+        assert sorted(a.pairs()) == [("x", 1), ("y", 2)]
+
+    def test_merge_kind_mismatch(self):
+        with pytest.raises(TraceTypeError):
+            Block(False).merge_from(Block(True))
+
+    def test_size_and_copy(self):
+        a = Block(True)
+        a.add("x", 1)
+        a.add("x", 2)
+        clone = a.copy()
+        clone.add("x", 3)
+        assert a.size() == 2 and clone.size() == 3
+
+
+class TestBlockTrace:
+    def test_from_events_equivalences(self):
+        t1 = BlockTrace.from_events(False, [("a", 1), ("b", 2), ("#", 1), ("a", 3)])
+        t2 = BlockTrace.from_events(False, [("b", 2), ("a", 1), ("#", 1), ("a", 3)])
+        assert t1 == t2
+
+    def test_marker_timestamps_matter(self):
+        t1 = BlockTrace.from_events(False, [("a", 1), ("#", 1)])
+        t2 = BlockTrace.from_events(False, [("a", 1), ("#", 2)])
+        assert t1 != t2
+
+    def test_block_boundaries_matter(self):
+        t1 = BlockTrace.from_events(False, [("a", 1), ("#", 1)])
+        t2 = BlockTrace.from_events(False, [("#", 1), ("a", 1)])
+        assert t1 != t2
+
+    def test_paper_isomorphism_empty_vs_single_marker(self):
+        # Example 3.2: eps ~ one empty bag; "#" ~ two empty bags.
+        empty = BlockTrace.from_events(False, [])
+        one_marker = BlockTrace.from_events(False, [("#", 1)])
+        assert empty != one_marker
+        assert empty.num_markers() == 0
+        assert one_marker.num_markers() == 1
+
+    def test_ordered_trace_per_key_sequences(self):
+        t1 = BlockTrace.from_events(True, [("a", 1), ("a", 2), ("b", 9)])
+        t2 = BlockTrace.from_events(True, [("b", 9), ("a", 1), ("a", 2)])
+        t3 = BlockTrace.from_events(True, [("a", 2), ("a", 1), ("b", 9)])
+        assert t1 == t2
+        assert t1 != t3
+
+    def test_prefix_order_unordered(self):
+        small = BlockTrace.from_events(False, [("a", 1)])
+        big = BlockTrace.from_events(False, [("b", 2), ("a", 1), ("#", 1)])
+        assert small.is_prefix_of(big)
+        assert not big.is_prefix_of(small)
+
+    def test_prefix_requires_matching_closed_blocks(self):
+        small = BlockTrace.from_events(False, [("a", 1), ("#", 1)])
+        big = BlockTrace.from_events(False, [("a", 1), ("b", 2), ("#", 1)])
+        # small's first block is CLOSED with different contents: not a prefix.
+        assert not small.is_prefix_of(big)
+
+    def test_prefix_order_ordered(self):
+        small = BlockTrace.from_events(True, [("a", 1)])
+        big = BlockTrace.from_events(True, [("a", 1), ("a", 2)])
+        wrong = BlockTrace.from_events(True, [("a", 2)])
+        assert small.is_prefix_of(big)
+        assert not wrong.is_prefix_of(big)
+
+    def test_total_pairs(self):
+        t = BlockTrace.from_events(False, [("a", 1), ("#", 1), ("a", 2), ("b", 3)])
+        assert t.total_pairs() == 3
+
+    def test_accepts_item_objects(self):
+        t1 = BlockTrace.from_events(False, [kv_item("a", 1), marker(1)])
+        t2 = BlockTrace.from_events(False, [("a", 1), ("#", 1)])
+        assert t1 == t2
+
+
+class TestAgreementWithFormalTraces:
+    """BlockTrace equivalence must coincide with DataTrace equivalence."""
+
+    @given(event_streams(), event_streams())
+    @settings(max_examples=60)
+    def test_unordered_agreement(self, u_type, left, right):
+        bt_equal = BlockTrace.from_events(False, left) == BlockTrace.from_events(
+            False, right
+        )
+        dt_equal = DataTrace(u_type, _to_items(left)) == DataTrace(
+            u_type, _to_items(right)
+        )
+        assert bt_equal == dt_equal
+
+    @given(event_streams(), event_streams())
+    @settings(max_examples=60)
+    def test_ordered_agreement(self, o_type, left, right):
+        bt_equal = BlockTrace.from_events(True, left) == BlockTrace.from_events(
+            True, right
+        )
+        dt_equal = DataTrace(o_type, _to_items(left)) == DataTrace(
+            o_type, _to_items(right)
+        )
+        assert bt_equal == dt_equal
+
+    @given(event_streams())
+    @settings(max_examples=40)
+    def test_round_trip_to_items(self, u_type, stream):
+        bt = BlockTrace.from_events(False, stream)
+        again = BlockTrace.from_items(u_type, bt.to_items())
+        assert bt == again
+
+
+def _to_items(stream):
+    items = []
+    for event in stream:
+        if isinstance(event, Marker):
+            items.append(marker(event.timestamp))
+        else:
+            items.append(kv_item(event.key, event.value))
+    return items

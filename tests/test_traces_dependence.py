@@ -1,0 +1,81 @@
+"""Dependence relations: constructors, symmetry, union (Section 3.1)."""
+
+import pytest
+
+from repro.errors import DependenceError
+from repro.traces.dependence import DependenceRelation
+from repro.traces.tags import MARKER, Tag
+
+A, B, C = Tag("A"), Tag("B"), Tag("C")
+
+
+class TestConstructors:
+    def test_full_on_finite_tags(self):
+        dep = DependenceRelation.full([A, B])
+        assert dep.dependent(A, A)
+        assert dep.dependent(A, B)
+        assert not dep.dependent(A, C)  # C not in the finite square
+
+    def test_full_unbounded(self):
+        dep = DependenceRelation.full()
+        assert dep.dependent(A, C)
+        assert dep.dependent(MARKER, MARKER)
+
+    def test_empty(self):
+        dep = DependenceRelation.empty()
+        assert dep.independent(A, A)
+        assert dep.independent(A, B)
+
+    def test_keyed_self_dependence_only(self):
+        dep = DependenceRelation.keyed()
+        assert dep.dependent(A, A)
+        assert dep.independent(A, B)
+
+    def test_marker_relation_unordered(self):
+        dep = DependenceRelation.with_marker(data_tags_self_dependent=False)
+        assert dep.dependent(MARKER, MARKER)
+        assert dep.dependent(A, MARKER)
+        assert dep.dependent(MARKER, B)
+        assert dep.independent(A, A)
+        assert dep.independent(A, B)
+
+    def test_marker_relation_ordered(self):
+        dep = DependenceRelation.with_marker(data_tags_self_dependent=True)
+        assert dep.dependent(A, A)
+        assert dep.independent(A, B)
+        assert dep.dependent(A, MARKER)
+
+
+class TestExplicitPairs:
+    def test_pairs_are_symmetrized(self):
+        dep = DependenceRelation(pairs=[(A, B)])
+        assert dep.dependent(A, B)
+        assert dep.dependent(B, A)
+
+    def test_restricted_to(self):
+        dep = DependenceRelation(pairs=[(A, B)])
+        square = dep.restricted_to([A, B, C])
+        assert (A, B) in square and (B, A) in square
+        assert (A, C) not in square
+
+    def test_check_symmetric_passes_for_builtin(self):
+        DependenceRelation.keyed().check_symmetric([A, B, C])
+
+    def test_check_symmetric_catches_bad_predicate(self):
+        bad = DependenceRelation(predicate=lambda a, b: a == A and b == B)
+        # The predicate itself is asymmetric, but `dependent` symmetrizes
+        # it by checking both directions, so this passes.
+        bad.check_symmetric([A, B])
+
+    def test_union(self):
+        dep = DependenceRelation(pairs=[(A, B)]).union(
+            DependenceRelation(pairs=[(B, C)])
+        )
+        assert dep.dependent(A, B)
+        assert dep.dependent(B, C)
+        assert not dep.dependent(A, C)
+
+    def test_union_preserves_rules(self):
+        dep = DependenceRelation.keyed().union(DependenceRelation(pairs=[(A, B)]))
+        assert dep.dependent(C, C)
+        assert dep.dependent(A, B)

@@ -1,0 +1,159 @@
+"""Algebraic laws of the trace model, property-tested with hypothesis:
+monoid laws of concatenation, partial-order laws of the prefix relation,
+residual uniqueness, and the keyed U/O types' agreement with the general
+machinery."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.items import Item, kv_item, marker
+from repro.traces.normal_form import lex_normal_form, random_equivalent_shuffle
+from repro.traces.trace import DataTrace, empty_trace
+from repro.traces.trace_type import ordered_type, unordered_type
+
+from conftest import example31_sequences
+
+U = unordered_type()
+O = ordered_type()
+
+
+def renumber_markers(items):
+    """Renumber marker timestamps 1.. to keep concatenations well-formed."""
+    out, ts = [], 1
+    for item in items:
+        if item.is_marker():
+            out.append(marker(ts))
+            ts += 1
+        else:
+            out.append(item)
+    return out
+
+
+@st.composite
+def keyed_item_sequences(draw, max_len=8):
+    items = []
+    ts = 1
+    for _ in range(draw(st.integers(0, max_len))):
+        if draw(st.booleans()):
+            items.append(
+                kv_item(draw(st.sampled_from("ab")), draw(st.integers(0, 4)))
+            )
+        else:
+            items.append(marker(ts))
+            ts += 1
+    return items
+
+
+class TestMonoidLaws:
+    @given(example31_sequences(max_len=5), example31_sequences(max_len=5),
+           example31_sequences(max_len=5))
+    @settings(max_examples=30)
+    def test_concat_associative(self, example31_type, u, v, w):
+        u, v, w = (renumber_markers(x) for x in (u, v, w))
+        a = DataTrace(example31_type, u)
+        b = DataTrace(example31_type, v)
+        c = DataTrace(example31_type, w)
+        assert (a + b) + c == a + (b + c)
+
+    @given(example31_sequences())
+    @settings(max_examples=30)
+    def test_identity_laws(self, example31_type, items):
+        t = DataTrace(example31_type, items)
+        e = empty_trace(example31_type)
+        assert t + e == t
+        assert e + t == t
+
+    @given(keyed_item_sequences(), keyed_item_sequences())
+    @settings(max_examples=30)
+    def test_concat_well_defined_on_keyed_types(self, u, v):
+        """[u][v] must not depend on the representatives, for U and O."""
+        rng = random.Random(2)
+        for trace_type in (U, O):
+            u2 = random_equivalent_shuffle(trace_type, u, rng)
+            v2 = random_equivalent_shuffle(trace_type, v, rng)
+            left = DataTrace(trace_type, renumber_markers(list(u) + list(v)))
+            right = DataTrace(trace_type, renumber_markers(list(u2) + list(v2)))
+            assert left == right
+
+
+class TestPrefixOrderLaws:
+    @given(example31_sequences())
+    @settings(max_examples=30)
+    def test_reflexive(self, example31_type, items):
+        t = DataTrace(example31_type, items)
+        assert t.is_prefix_of(t)
+
+    @given(example31_sequences(max_len=6), example31_sequences(max_len=4))
+    @settings(max_examples=30)
+    def test_concat_extends(self, example31_type, u, v):
+        u, v = renumber_markers(u), renumber_markers(v)
+        # Renumber v's markers to continue after u's.
+        n_markers = sum(1 for i in u if i.is_marker())
+        v = [marker(i.value + n_markers) if i.is_marker() else i for i in v]
+        a = DataTrace(example31_type, u)
+        ab = DataTrace(example31_type, list(u) + list(v))
+        assert a.is_prefix_of(ab)
+
+    @given(example31_sequences(max_len=6), example31_sequences(max_len=6))
+    @settings(max_examples=40)
+    def test_antisymmetric(self, example31_type, u, v):
+        a = DataTrace(example31_type, u)
+        b = DataTrace(example31_type, v)
+        if a.is_prefix_of(b) and b.is_prefix_of(a):
+            assert a == b
+
+    @given(example31_sequences(max_len=8))
+    @settings(max_examples=30)
+    def test_transitive_via_cuts(self, example31_type, items):
+        third = len(items) // 3
+        a = DataTrace(example31_type, items[:third])
+        b = DataTrace(example31_type, items[: 2 * third])
+        c = DataTrace(example31_type, items)
+        assert a.is_prefix_of(b)
+        assert b.is_prefix_of(c)
+        assert a.is_prefix_of(c)
+
+
+class TestResidualLaws:
+    @given(example31_sequences(max_len=8))
+    @settings(max_examples=40)
+    def test_residual_reconstructs(self, example31_type, items):
+        cut = len(items) // 2
+        prefix = DataTrace(example31_type, items[:cut])
+        full = DataTrace(example31_type, items)
+        residual = prefix.residual_in(full)
+        assert residual is not None
+        assert prefix + residual == full
+
+    @given(example31_sequences(max_len=8))
+    @settings(max_examples=40)
+    def test_residual_unique(self, example31_type, items):
+        """Traces are left-cancellative: u.w = u.w' implies w = w'."""
+        cut = len(items) // 2
+        prefix = DataTrace(example31_type, items[:cut])
+        full = DataTrace(example31_type, items)
+        residual = prefix.residual_in(full)
+        # Direct construction of the residual from the raw suffix must
+        # agree with the greedy residuation.
+        direct = DataTrace(example31_type, items[cut:])
+        assert residual == direct
+
+
+class TestKeyedNormalForms:
+    @given(keyed_item_sequences())
+    @settings(max_examples=40)
+    def test_lex_normal_form_idempotent_on_keyed(self, items):
+        for trace_type in (U, O):
+            nf = lex_normal_form(trace_type, items)
+            assert lex_normal_form(trace_type, list(nf)) == nf
+
+    @given(keyed_item_sequences())
+    @settings(max_examples=40)
+    def test_o_refines_u(self, items):
+        """O-equivalent sequences are U-equivalent (O has more
+        dependencies, hence finer classes)."""
+        rng = random.Random(5)
+        shuffled = random_equivalent_shuffle(O, items, rng)
+        assert lex_normal_form(U, items) == lex_normal_form(U, shuffled)

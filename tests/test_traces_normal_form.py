@@ -1,0 +1,118 @@
+"""Canonical forms: lexicographic and Foata (Section 3.1 machinery).
+
+The central property: a sequence and any dependence-respecting shuffle
+of it share the same normal forms, and sequences that are *not*
+equivalent have different normal forms.
+"""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.traces.items import Item, marker
+from repro.traces.normal_form import (
+    foata_normal_form,
+    lex_normal_form,
+    random_equivalent_shuffle,
+)
+from repro.traces.tags import Tag
+
+from conftest import M, example31_sequences, measurements
+
+
+class TestLexNormalForm:
+    def test_empty(self, example31_type):
+        assert lex_normal_form(example31_type, []) == ()
+
+    def test_sorts_independent_items(self, example31_type):
+        items = measurements(8, 5, 5)
+        assert lex_normal_form(example31_type, items) == tuple(measurements(5, 5, 8))
+
+    def test_markers_block_commutation(self, example31_type):
+        items = measurements(9, ts=1) + measurements(1)
+        nf = lex_normal_form(example31_type, items)
+        # The 1 cannot cross the marker even though 1 < 9.
+        assert nf == (Item(M, 9), marker(1), Item(M, 1))
+
+    def test_example_31_equivalence(self, example31_type):
+        s1 = measurements(5, 5, 8, ts=1) + measurements(9)
+        s2 = measurements(8, 5, 5, ts=1) + measurements(9)
+        assert lex_normal_form(example31_type, s1) == lex_normal_form(
+            example31_type, s2
+        )
+
+    def test_distinguishes_across_marker(self, example31_type):
+        s1 = measurements(5, ts=1) + measurements(8)
+        s2 = measurements(8, ts=1) + measurements(5)
+        assert lex_normal_form(example31_type, s1) != lex_normal_form(
+            example31_type, s2
+        )
+
+    def test_idempotent(self, example31_type):
+        items = measurements(3, 1, 4, ts=1) + measurements(1, 5)
+        nf = lex_normal_form(example31_type, items)
+        assert lex_normal_form(example31_type, nf) == nf
+
+    @given(example31_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_shuffle_invariance(self, example31_type, items):
+        rng = random.Random(17)
+        shuffled = random_equivalent_shuffle(example31_type, items, rng)
+        assert lex_normal_form(example31_type, items) == lex_normal_form(
+            example31_type, shuffled
+        )
+
+    @given(example31_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_preserves_multiset(self, example31_type, items):
+        nf = lex_normal_form(example31_type, items)
+        assert sorted(nf, key=Item.sort_key) == sorted(items, key=Item.sort_key)
+
+
+class TestFoataNormalForm:
+    def test_empty(self, example31_type):
+        assert foata_normal_form(example31_type, []) == ()
+
+    def test_steps_group_independent_items(self, example31_type):
+        items = measurements(5, 7, ts=1) + measurements(9)
+        steps = foata_normal_form(example31_type, items)
+        assert steps == (
+            (Item(M, 5), Item(M, 7)),
+            (marker(1),),
+            (Item(M, 9),),
+        )
+
+    def test_within_step_sorted(self, example31_type):
+        steps = foata_normal_form(example31_type, measurements(9, 2, 5))
+        assert steps == ((Item(M, 2), Item(M, 5), Item(M, 9)),)
+
+    @given(example31_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_lex_on_equivalence(self, example31_type, items):
+        rng = random.Random(3)
+        shuffled = random_equivalent_shuffle(example31_type, items, rng)
+        assert foata_normal_form(example31_type, items) == foata_normal_form(
+            example31_type, shuffled
+        )
+
+    @given(example31_sequences(max_len=8))
+    @settings(max_examples=40, deadline=None)
+    def test_step_items_pairwise_independent(self, example31_type, items):
+        for step in foata_normal_form(example31_type, items):
+            for i, a in enumerate(step):
+                for b in step[i + 1 :]:
+                    assert example31_type.items_independent(a, b)
+
+
+class TestRandomEquivalentShuffle:
+    def test_preserves_length(self, example31_type):
+        items = measurements(1, 2, 3, ts=1)
+        rng = random.Random(0)
+        assert len(random_equivalent_shuffle(example31_type, items, rng)) == len(items)
+
+    def test_never_crosses_markers(self, example31_type):
+        items = measurements(1, ts=1) + measurements(2, ts=2)
+        rng = random.Random(0)
+        for _ in range(20):
+            shuffled = random_equivalent_shuffle(example31_type, items, rng)
+            assert shuffled == items  # nothing commutes here

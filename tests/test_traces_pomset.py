@@ -1,0 +1,90 @@
+"""Pomset view of traces: partial order, Hasse diagram, linearizations
+(the Example 3.2 visualization)."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.traces.items import Item, marker
+from repro.traces.normal_form import lex_normal_form, random_equivalent_shuffle
+from repro.traces.pomset import Pomset
+
+from conftest import M, example31_sequences, measurements
+
+
+class TestOrder:
+    def test_example_32_structure(self, example31_type):
+        # (M,5)(M,7) # (M,9)(M,8)(M,9) # (M,6)
+        items = (
+            measurements(5, 7, ts=1)
+            + measurements(9, 8, 9, ts=2)
+            + measurements(6)
+        )
+        p = Pomset(example31_type, items)
+        marker1 = 2  # index of first marker
+        assert p.precedes(0, marker1)
+        assert p.precedes(marker1, 3)
+        assert p.concurrent(0, 1)  # (M,5) || (M,7)
+        assert p.concurrent(3, 4)  # (M,9) || (M,8)
+        assert p.precedes(0, 6)    # transitively through markers
+
+    def test_minimal_nodes(self, example31_type):
+        items = measurements(5, 7, ts=1)
+        p = Pomset(example31_type, items)
+        assert p.minimal_nodes() == [0, 1]
+
+    def test_width(self, example31_type):
+        p = Pomset(example31_type, measurements(5, 7, 9))
+        assert p.width() == 3
+        p2 = Pomset(example31_type, measurements(5, ts=1) + measurements(7))
+        assert p2.width() == 1
+
+    def test_covers_exclude_transitive(self, example31_type):
+        items = measurements(5, ts=1) + measurements(9)
+        p = Pomset(example31_type, items)
+        covers = p.covers()
+        assert (0, 1) in covers and (1, 2) in covers
+        assert (0, 2) not in covers
+
+
+class TestLinearizations:
+    def test_count_example_32_block(self, example31_type):
+        # {5,5,8} then # then 9: 3 distinct arrangements of the bag.
+        items = measurements(5, 5, 8, ts=1) + measurements(9)
+        p = Pomset(example31_type, items)
+        assert p.count_linearizations() == 3
+
+    def test_fully_ordered_has_one(self, example31_type):
+        items = measurements(5, ts=1) + measurements(8, ts=2)
+        assert Pomset(example31_type, items).count_linearizations() == 1
+
+    def test_all_linearizations_equivalent(self, example31_type):
+        items = measurements(3, 1, ts=1) + measurements(2)
+        p = Pomset(example31_type, items)
+        nf = lex_normal_form(example31_type, items)
+        for linearization in p.linearizations():
+            assert lex_normal_form(example31_type, linearization) == nf
+
+    def test_is_linearization(self, example31_type):
+        items = measurements(3, 1)
+        p = Pomset(example31_type, items)
+        assert p.is_linearization(measurements(1, 3))
+        assert not p.is_linearization(measurements(1, 1))
+
+    @given(example31_sequences(max_len=6))
+    @settings(max_examples=30)
+    def test_shuffles_are_linearizations(self, example31_type, items):
+        p = Pomset(example31_type, items)
+        rng = random.Random(9)
+        shuffled = random_equivalent_shuffle(example31_type, items, rng)
+        assert p.is_linearization(shuffled)
+
+
+class TestRender:
+    def test_render_contains_steps(self, example31_type):
+        items = measurements(5, 7, ts=1) + measurements(9)
+        rendered = Pomset(example31_type, items).render()
+        assert "(M,5)" in rendered and "->" in rendered
+
+    def test_render_empty(self, example31_type):
+        assert Pomset(example31_type, []).render() == ""

@@ -1,0 +1,129 @@
+"""Generalized (key-scoped) punctuations — the Section 7 extension."""
+
+import random
+
+import pytest
+
+from repro.operators.base import KV
+from repro.traces.items import Item
+from repro.traces.punctuation import (
+    Punctuation,
+    PunctuationReorder,
+    data_tag,
+    punct_tag,
+    punctuated_type,
+)
+from repro.traces.trace import DataTrace
+
+
+class TestPunctuatedType:
+    def test_same_key_punct_ordered(self):
+        X = punctuated_type()
+        assert X.dependence.dependent(punct_tag("a"), punct_tag("a"))
+
+    def test_punct_blocks_own_keys_data(self):
+        X = punctuated_type()
+        assert X.dependence.dependent(punct_tag("a"), data_tag("a"))
+
+    def test_cross_key_independence(self):
+        """The whole point: key a's punctuation does not order key b."""
+        X = punctuated_type()
+        assert X.dependence.independent(punct_tag("a"), data_tag("b"))
+        assert X.dependence.independent(punct_tag("a"), punct_tag("b"))
+        assert X.dependence.independent(data_tag("a"), data_tag("b"))
+
+    def test_unordered_data_within_key(self):
+        X = punctuated_type(ordered_per_key=False)
+        assert X.dependence.independent(data_tag("a"), data_tag("a"))
+
+    def test_ordered_variant(self):
+        X = punctuated_type(ordered_per_key=True)
+        assert X.dependence.dependent(data_tag("a"), data_tag("a"))
+
+    def test_trace_equivalence_across_keys(self):
+        """Items of different keys commute across each other's
+        punctuations — the traces coincide."""
+        X = punctuated_type()
+        u = [
+            Item(data_tag("a"), 1),
+            Item(punct_tag("a"), 10),
+            Item(data_tag("b"), 2),
+        ]
+        v = [
+            Item(data_tag("b"), 2),
+            Item(data_tag("a"), 1),
+            Item(punct_tag("a"), 10),
+        ]
+        assert DataTrace(X, u) == DataTrace(X, v)
+
+    def test_trace_inequivalence_same_key(self):
+        X = punctuated_type()
+        u = [Item(data_tag("a"), 1), Item(punct_tag("a"), 10)]
+        v = [Item(punct_tag("a"), 10), Item(data_tag("a"), 1)]
+        assert DataTrace(X, u) != DataTrace(X, v)
+
+
+class TestPunctuationReorder:
+    def test_releases_sorted_below_watermark(self):
+        op = PunctuationReorder()
+        out = op.run([
+            KV("a", ("x", 5)), KV("a", ("y", 2)), KV("a", ("z", 9)),
+            Punctuation("a", 7),
+        ])
+        released = [e for e in out if isinstance(e, KV)]
+        assert [e.value for e in released] == [("y", 2), ("x", 5)]
+        assert out[-1] == Punctuation("a", 7)
+
+    def test_retains_items_at_or_above_watermark(self):
+        op = PunctuationReorder()
+        state = op.initial_state()
+        op.handle(state, KV("a", ("x", 9)))
+        out = op.handle(state, Punctuation("a", 9))
+        assert [e for e in out if isinstance(e, KV)] == []
+        out = op.handle(state, Punctuation("a", 10))
+        assert [e.value for e in out if isinstance(e, KV)] == [("x", 9)]
+
+    def test_keys_progress_independently(self):
+        """A slow key's missing punctuation never blocks another key —
+        impossible with global markers."""
+        op = PunctuationReorder()
+        out = op.run([
+            KV("slow", ("s", 1)),
+            KV("fast", ("f", 1)),
+            Punctuation("fast", 100),
+        ])
+        released = [e for e in out if isinstance(e, KV)]
+        assert [e.key for e in released] == ["fast"]
+
+    def test_output_invariant_under_commutation(self):
+        """Reordering input events that the punctuated type declares
+        independent leaves the output trace unchanged."""
+        base = [
+            KV("a", ("a1", 3)), KV("b", ("b1", 4)), Punctuation("a", 10),
+            KV("b", ("b2", 1)), Punctuation("b", 10),
+        ]
+        # Commute b's data across a's punctuation (independent tags).
+        variant = [
+            KV("b", ("b1", 4)), KV("a", ("a1", 3)), KV("b", ("b2", 1)),
+            Punctuation("a", 10), Punctuation("b", 10),
+        ]
+        out1 = PunctuationReorder().run(base)
+        out2 = PunctuationReorder().run(variant)
+
+        def per_key(out):
+            result = {}
+            for e in out:
+                if isinstance(e, KV):
+                    result.setdefault(e.key, []).append(e.value)
+            return result
+
+        assert per_key(out1) == per_key(out2)
+
+    def test_multiple_watermarks_accumulate(self):
+        op = PunctuationReorder()
+        out = op.run([
+            KV("a", ("x", 1)), Punctuation("a", 2),
+            KV("a", ("y", 2)), Punctuation("a", 3),
+        ])
+        released = [e.value for e in out if isinstance(e, KV)]
+        assert released == [("x", 1), ("y", 2)]

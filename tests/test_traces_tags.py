@@ -1,0 +1,107 @@
+"""Tags, data types, and value validators (Section 3.1 definitions)."""
+
+import pytest
+
+from repro.errors import TraceTypeError
+from repro.traces.tags import (
+    DataType,
+    MARKER,
+    Tag,
+    nat_validator,
+    unit_validator,
+)
+
+
+class TestTag:
+    def test_equality_by_name(self):
+        assert Tag("M") == Tag("M")
+        assert Tag("M") != Tag("N")
+
+    def test_hashable(self):
+        assert len({Tag("M"), Tag("M"), Tag("N")}) == 2
+
+    def test_non_string_names(self):
+        assert Tag(42) == Tag(42)
+        assert Tag((1, 2)) != Tag((1, 3))
+
+    def test_sort_key_total_order_across_types(self):
+        tags = [Tag(3), Tag("a"), Tag((1, 2)), Tag(1)]
+        ordered = sorted(tags, key=Tag.sort_key)
+        assert len(ordered) == 4  # no comparison errors
+
+    def test_marker_tag_is_hash(self):
+        assert MARKER.name == "#"
+
+
+class TestValidators:
+    def test_nat_accepts_nonnegative_ints(self):
+        assert nat_validator(0)
+        assert nat_validator(17)
+
+    def test_nat_rejects_negative_float_bool(self):
+        assert not nat_validator(-1)
+        assert not nat_validator(2.5)
+        assert not nat_validator(True)
+
+    def test_unit_accepts_only_none(self):
+        assert unit_validator(None)
+        assert not unit_validator(0)
+
+
+class TestDataType:
+    def test_explicit_tags(self):
+        dt = DataType({Tag("M"): int, Tag("N"): str})
+        assert dt.contains_tag(Tag("M"))
+        assert not dt.contains_tag(Tag("X"))
+        assert dt.is_finite()
+
+    def test_check_item_accepts_valid(self):
+        dt = DataType({Tag("M"): nat_validator})
+        dt.check_item(Tag("M"), 5)
+
+    def test_check_item_rejects_bad_value(self):
+        dt = DataType({Tag("M"): nat_validator})
+        with pytest.raises(TraceTypeError):
+            dt.check_item(Tag("M"), -1)
+
+    def test_check_item_rejects_unknown_tag(self):
+        dt = DataType({Tag("M"): nat_validator})
+        with pytest.raises(TraceTypeError):
+            dt.check_item(Tag("X"), 5)
+
+    def test_default_value_type_makes_alphabet_infinite(self):
+        dt = DataType({MARKER: nat_validator}, default_value_type=int)
+        assert not dt.is_finite()
+        assert dt.contains_tag(Tag("any-key"))
+        dt.check_item(Tag(12345), 7)
+
+    def test_tag_predicate_restricts_alphabet(self):
+        dt = DataType(
+            {MARKER: nat_validator},
+            default_value_type=int,
+            tag_predicate=lambda tag: tag == MARKER or isinstance(tag.name, int),
+        )
+        assert dt.contains_tag(Tag(3))
+        assert not dt.contains_tag(Tag("string-key"))
+        with pytest.raises(TraceTypeError):
+            dt.check_item(Tag("string-key"), 1)
+
+    def test_float_validator_accepts_ints(self):
+        dt = DataType({Tag("M"): float})
+        dt.check_item(Tag("M"), 3)
+        dt.check_item(Tag("M"), 3.5)
+        with pytest.raises(TraceTypeError):
+            dt.check_item(Tag("M"), "nope")
+
+    def test_int_validator_rejects_bool(self):
+        dt = DataType({Tag("M"): int})
+        with pytest.raises(TraceTypeError):
+            dt.check_item(Tag("M"), True)
+
+    def test_string_spec_is_descriptive_only(self):
+        dt = DataType({Tag("M"): "Float"})
+        dt.check_item(Tag("M"), object())  # anything goes
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(TraceTypeError):
+            DataType({Tag("M"): 42})

@@ -1,0 +1,188 @@
+"""DataTrace: equivalence classes, monoid structure, prefix order,
+residuals (Section 3.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TraceTypeError
+from repro.traces.items import Item, marker
+from repro.traces.normal_form import random_equivalent_shuffle
+from repro.traces.tags import Tag
+from repro.traces.trace import DataTrace, empty_trace
+from repro.traces.trace_type import bag_type, sequence_type
+
+from conftest import M, example31_sequences, measurements
+
+
+class TestEquivalence:
+    def test_example_31(self, example31_type):
+        t1 = DataTrace(example31_type, measurements(5, 5, 8, ts=1) + measurements(9))
+        t2 = DataTrace(example31_type, measurements(8, 5, 5, ts=1) + measurements(9))
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_marker_position_matters(self, example31_type):
+        t1 = DataTrace(example31_type, measurements(5, ts=1))
+        t2 = DataTrace(example31_type, [marker(1), Item(M, 5)])
+        assert t1 != t2
+
+    def test_type_name_distinguishes(self):
+        seq = sequence_type(int)
+        bag = bag_type(int)
+        a = DataTrace(seq, [Item(Tag("item"), 1)])
+        b = DataTrace(bag, [Item(Tag("item"), 1)])
+        assert a != b
+
+    def test_ill_typed_items_rejected(self, example31_type):
+        with pytest.raises(TraceTypeError):
+            DataTrace(example31_type, [Item(M, -3)])
+
+    def test_equivalent_to_sequence(self, example31_type):
+        t = DataTrace(example31_type, measurements(5, 8))
+        assert t.equivalent_to_sequence(measurements(8, 5))
+        assert not t.equivalent_to_sequence(measurements(8, 8))
+
+    def test_sequence_type_traces_are_sequences(self):
+        seq = sequence_type(int)
+        tag = Tag("item")
+        a = DataTrace(seq, [Item(tag, 2), Item(tag, 1)])
+        b = DataTrace(seq, [Item(tag, 1), Item(tag, 2)])
+        assert a != b
+
+    def test_bag_type_traces_are_bags(self):
+        bag = bag_type(int)
+        tag = Tag("item")
+        a = DataTrace(bag, [Item(tag, 2), Item(tag, 1)])
+        b = DataTrace(bag, [Item(tag, 1), Item(tag, 2)])
+        assert a == b
+
+
+class TestMonoid:
+    def test_concat(self, example31_type):
+        left = DataTrace(example31_type, measurements(5, ts=1))
+        right = DataTrace(example31_type, measurements(8))
+        combined = left + right
+        assert combined == DataTrace(
+            example31_type, measurements(5, ts=1) + measurements(8)
+        )
+
+    def test_empty_is_identity(self, example31_type):
+        t = DataTrace(example31_type, measurements(5, 8, ts=1))
+        e = empty_trace(example31_type)
+        assert t + e == t
+        assert e + t == t
+
+    def test_append(self, example31_type):
+        t = DataTrace(example31_type, measurements(5))
+        assert t.append(Item(M, 8)) == DataTrace(example31_type, measurements(5, 8))
+
+    def test_concat_type_mismatch(self, example31_type, u_type):
+        a = DataTrace(example31_type, measurements(5))
+        b = DataTrace(u_type, [])
+        with pytest.raises(TraceTypeError):
+            a.concat(b)
+
+    @given(example31_sequences(max_len=6), example31_sequences(max_len=6))
+    @settings(max_examples=40)
+    def test_concat_respects_classes(self, example31_type, u, v):
+        # [u] . [v] must not depend on chosen representatives.
+        rng = random.Random(5)
+        u2 = random_equivalent_shuffle(example31_type, u, rng)
+        v2 = random_equivalent_shuffle(example31_type, v, rng)
+        fix = _fix_marker_timestamps
+        u, v = fix(u), fix(v)
+        u2, v2 = fix(u2), fix(v2)
+        a = DataTrace(example31_type, list(u) + list(v))
+        b = DataTrace(example31_type, list(u2) + list(v2))
+        assert a == b
+
+
+def _fix_marker_timestamps(items):
+    """Renumber marker timestamps 1.. so concatenations stay well-formed."""
+    result = []
+    ts = 1
+    for item in items:
+        if item.is_marker():
+            result.append(marker(ts))
+            ts += 1
+        else:
+            result.append(item)
+    return result
+
+
+class TestPrefixOrder:
+    def test_sequence_prefix_is_trace_prefix(self, example31_type):
+        full = measurements(5, 7, ts=1) + measurements(9)
+        for cut in range(len(full) + 1):
+            assert DataTrace(example31_type, full[:cut]).is_prefix_of(
+                DataTrace(example31_type, full)
+            )
+
+    def test_prefix_up_to_equivalence(self, example31_type):
+        # (M,8) alone is a prefix of (M,5)(M,8)# because items commute.
+        small = DataTrace(example31_type, measurements(8))
+        big = DataTrace(example31_type, measurements(5, 8, ts=1))
+        assert small.is_prefix_of(big)
+
+    def test_non_prefix(self, example31_type):
+        small = DataTrace(example31_type, measurements(9))
+        big = DataTrace(example31_type, measurements(5, 8, ts=1))
+        assert not small.is_prefix_of(big)
+
+    def test_marker_blocks_prefix(self, example31_type):
+        # u = #1 (M,5)   is not a prefix of   v = (M,5) #1 ... wait, it is:
+        # v has 5 before the marker; u needs 5 after.  Check both ways.
+        u = DataTrace(example31_type, [marker(1), Item(M, 5)])
+        v = DataTrace(example31_type, [Item(M, 5), marker(1)])
+        assert not u.is_prefix_of(v)
+        assert not v.is_prefix_of(u)
+
+    def test_reflexive_antisymmetric(self, example31_type):
+        t = DataTrace(example31_type, measurements(5, 8, ts=1))
+        s = DataTrace(example31_type, measurements(8, 5, ts=1))
+        assert t.is_prefix_of(t)
+        assert t.is_prefix_of(s) and s.is_prefix_of(t) and t == s
+
+    @given(example31_sequences())
+    @settings(max_examples=50)
+    def test_prefix_iff_residual(self, example31_type, items):
+        full = DataTrace(example31_type, items)
+        cut = len(items) // 2
+        prefix = DataTrace(example31_type, items[:cut])
+        residual = prefix.residual_in(full)
+        assert residual is not None
+        assert prefix + residual == full
+
+
+class TestResidual:
+    def test_residual_basic(self, example31_type):
+        u = DataTrace(example31_type, measurements(5))
+        v = DataTrace(example31_type, measurements(5, 8, ts=1))
+        w = u.residual_in(v)
+        assert w == DataTrace(example31_type, measurements(8, ts=1))
+
+    def test_residual_none_when_not_prefix(self, example31_type):
+        u = DataTrace(example31_type, measurements(9))
+        v = DataTrace(example31_type, measurements(5, ts=1))
+        assert u.residual_in(v) is None
+
+    def test_residual_of_self_is_empty(self, example31_type):
+        t = DataTrace(example31_type, measurements(5, 8, ts=1))
+        assert t.residual_in(t) == empty_trace(example31_type)
+
+
+class TestViews:
+    def test_projections(self, example31_type):
+        t = DataTrace(example31_type, measurements(5, 8, ts=1) + measurements(9))
+        assert t.markers() == (marker(1),)
+        assert sorted(i.value for i in t.data_items()) == [5, 8, 9]
+        assert t.project_tag(M) == t.data_items()
+
+    def test_len_iter_bool(self, example31_type):
+        t = DataTrace(example31_type, measurements(5, ts=1))
+        assert len(t) == 2
+        assert list(t) == list(t.canonical)
+        assert t
+        assert not empty_trace(example31_type)

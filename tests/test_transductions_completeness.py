@@ -1,0 +1,93 @@
+"""The converse denotation theorem made executable: implement() turns
+monotone trace functions into consistent string transductions whose
+denotations are the original functions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ConsistencyError
+from repro.traces.items import Item, marker
+from repro.traces.normal_form import random_equivalent_shuffle
+from repro.traces.tags import Tag
+from repro.traces.trace import DataTrace
+from repro.traces.trace_type import sequence_type
+from repro.transductions.completeness import implement
+from repro.transductions.consistency import ConsistencyChecker
+
+from conftest import M, example31_sequences, measurements
+
+OUT = sequence_type(int, tag_name="out")
+OUT_TAG = Tag("out")
+
+
+def smax_trace_function(example31_type):
+    """Example 3.9's smax as a *trace* function (specification level)."""
+
+    def beta(trace: DataTrace) -> DataTrace:
+        outputs = []
+        best = None
+        for item in trace.canonical:
+            if item.is_marker():
+                if best is not None:
+                    outputs.append(Item(OUT_TAG, best))
+            elif best is None or item.value > best:
+                best = item.value
+        return DataTrace(OUT, outputs)
+
+    return beta
+
+
+class TestImplement:
+    def test_realizes_smax(self, example31_type):
+        f = implement(smax_trace_function(example31_type), example31_type, OUT)
+        items = measurements(5, 3, ts=1) + measurements(9, ts=2) + [marker(3)]
+        out = f.run(items)
+        assert [i.value for i in out] == [5, 9, 9]
+
+    def test_incremental_emission(self, example31_type):
+        """Output appears exactly when the trace function grows."""
+        f = implement(smax_trace_function(example31_type), example31_type, OUT)
+        increments = f.increments(measurements(4, ts=1) + measurements(7, ts=2))
+        by_item = {repr(item): out for item, out in increments}
+        assert by_item["#1"] == [Item(OUT_TAG, 4)]
+        assert by_item["#2"] == [Item(OUT_TAG, 7)]
+        assert by_item["(M,4)"] == []
+
+    @given(example31_sequences())
+    @settings(max_examples=30)
+    def test_implementation_is_consistent(self, example31_type, items):
+        """The constructed f satisfies Definition 3.5."""
+        f = implement(smax_trace_function(example31_type), example31_type, OUT)
+        checker = ConsistencyChecker(example31_type, OUT, seed=2)
+        assert checker.check_on_input(f, items, shuffles=6) is None
+
+    @given(example31_sequences())
+    @settings(max_examples=30)
+    def test_denotation_roundtrip(self, example31_type, items):
+        """beta -> implement -> denotation == beta."""
+        beta = smax_trace_function(example31_type)
+        f = implement(beta, example31_type, OUT)
+        realized = DataTrace(OUT, f.run(items))
+        assert realized == beta(DataTrace(example31_type, items))
+
+    def test_non_monotone_rejected(self, example31_type):
+        """A 'retracting' function is exposed at the offending step."""
+
+        def fickle(trace: DataTrace) -> DataTrace:
+            n = len(trace.data_items())
+            if n == 1:
+                return DataTrace(OUT, [Item(OUT_TAG, 1)])
+            return DataTrace(OUT, [])  # retracts its own output
+
+        f = implement(fickle, example31_type, OUT)
+        with pytest.raises(ConsistencyError, match="not monotone"):
+            f.run(measurements(5, 6))
+
+    def test_identity_function(self, example31_type):
+        beta = lambda trace: trace
+        f = implement(beta, example31_type, example31_type)
+        items = measurements(2, 9, ts=1)
+        out = DataTrace(example31_type, f.run(items))
+        assert out == DataTrace(example31_type, items)

@@ -1,0 +1,100 @@
+"""(X, Y)-consistency checking (Definition 3.5): the checker must accept
+consistent transductions and find witnesses against inconsistent ones —
+the Section 2 story in miniature."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.traces.items import Item, marker
+from repro.traces.trace_type import sequence_type
+from repro.traces.tags import Tag
+from repro.transductions.consistency import ConsistencyChecker, check_consistency
+from repro.transductions.examples import StreamingMax
+from repro.transductions.string_transduction import StringTransduction
+
+from conftest import M, measurements
+
+
+class FirstValueEmitter(StringTransduction):
+    """Inconsistent on Example 3.1 inputs: emits the first item seen,
+    which depends on the arbitrary order of the unordered block."""
+
+    def step(self, state, item: Item):
+        if item.is_marker():
+            return ()
+        if state is None or not state.get("seen"):
+            # state dict survives; mark seen.
+            (state or {}).update(seen=True)
+            return (item.value,)
+        return ()
+
+    def initial(self):
+        return {"seen": False}
+
+
+def output_type():
+    return sequence_type(int, tag_name="out")
+
+
+def wrap_outputs(transduction):
+    """Adapt value outputs to items of the output sequence type."""
+
+    class Wrapped(StringTransduction):
+        def initial(self):
+            return transduction.initial()
+
+        def step(self, state, item):
+            return [Item(Tag("out"), v) for v in transduction.step(state, item)]
+
+    return Wrapped()
+
+
+class TestChecker:
+    def test_streaming_max_is_consistent(self, example31_type):
+        checker = ConsistencyChecker(example31_type, output_type(), seed=1)
+        inputs = [
+            measurements(5, 3, ts=1) + measurements(9, ts=2),
+            measurements(1, 2, 3, 4, ts=1),
+            [marker(1), marker(2)],
+        ]
+        violation = checker.check(wrap_outputs(StreamingMax()), inputs, shuffles=15)
+        assert violation is None
+
+    def test_first_value_emitter_caught(self, example31_type):
+        checker = ConsistencyChecker(example31_type, output_type(), seed=1)
+        inputs = [measurements(5, 3, 8, ts=1)]
+        violation = checker.check(wrap_outputs(FirstValueEmitter()), inputs, shuffles=25)
+        assert violation is not None
+        assert violation.output_a != violation.output_b
+
+    def test_check_consistency_raises_with_witness(self, example31_type):
+        with pytest.raises(ConsistencyError) as exc_info:
+            check_consistency(
+                wrap_outputs(FirstValueEmitter()),
+                example31_type,
+                output_type(),
+                inputs=[measurements(5, 3, 8, ts=1)],
+                shuffles=25,
+                seed=1,
+            )
+        assert exc_info.value.witness is not None
+
+    def test_check_consistency_returns_none_when_clean(self, example31_type):
+        result = check_consistency(
+            wrap_outputs(StreamingMax()),
+            example31_type,
+            output_type(),
+            inputs=[measurements(4, 4, 2, ts=1)],
+            seed=0,
+        )
+        assert result is None
+
+    def test_deterministic_given_seed(self, example31_type):
+        checker1 = ConsistencyChecker(example31_type, output_type(), seed=9)
+        checker2 = ConsistencyChecker(example31_type, output_type(), seed=9)
+        inputs = [measurements(5, 3, 8, ts=1)]
+        v1 = checker1.check(wrap_outputs(FirstValueEmitter()), inputs, shuffles=10)
+        v2 = checker2.check(wrap_outputs(FirstValueEmitter()), inputs, shuffles=10)
+        assert (v1 is None) == (v2 is None)
+        if v1 is not None:
+            assert v1.input_b == v2.input_b

@@ -1,0 +1,172 @@
+"""Kahn process networks and their trace-transduction encoding
+(Example 3.3 / the generalization claim of Sections 3 and 7)."""
+
+import pytest
+
+from repro.errors import DagError
+from repro.transductions.examples import DeterministicMerge
+from repro.transductions.kpn import (
+    KahnNetwork,
+    merge_network,
+    network_transduction,
+    read,
+    write,
+)
+
+
+def doubler_network():
+    """One process: out = 2*x for each input token."""
+
+    def program():
+        while True:
+            x = yield read("in")
+            yield write("out", 2 * x)
+
+    network = KahnNetwork()
+    network.add_input("in")
+    network.add_output("out")
+    network.add_process("double", program)
+    return network
+
+
+def pipeline_network():
+    """Two processes in a chain through an internal channel."""
+
+    def stage1():
+        while True:
+            x = yield read("in")
+            yield write("mid", x + 1)
+
+    def stage2():
+        while True:
+            x = yield read("mid")
+            yield write("out", x * 10)
+
+    network = KahnNetwork()
+    network.add_input("in")
+    network.add_output("out")
+    network.add_process("inc", stage1)
+    network.add_process("scale", stage2)
+    return network
+
+
+class TestExecution:
+    def test_single_process(self):
+        outputs = doubler_network().run({"in": [1, 2, 3]})
+        assert outputs["out"] == [2, 4, 6]
+
+    def test_pipeline_through_internal_channel(self):
+        outputs = pipeline_network().run({"in": [1, 2]})
+        assert outputs["out"] == [20, 30]
+
+    def test_empty_input(self):
+        outputs = doubler_network().run({"in": []})
+        assert outputs["out"] == []
+
+    def test_partial_consumption_allowed(self):
+        """A process may finish early, leaving tokens unread."""
+
+        def program():
+            x = yield read("in")
+            yield write("out", x)
+
+        network = KahnNetwork()
+        network.add_input("in")
+        network.add_output("out")
+        network.add_process("head", program)
+        outputs = network.run({"in": [7, 8, 9]})
+        assert outputs["out"] == [7]
+
+    def test_duplicate_process_rejected(self):
+        network = KahnNetwork()
+        network.add_process("p", lambda: iter(()))
+        with pytest.raises(DagError):
+            network.add_process("p", lambda: iter(()))
+
+    def test_bad_command_rejected(self):
+        def program():
+            yield "not-a-command"
+
+        network = KahnNetwork()
+        network.add_input("in")
+        network.add_process("bad", program)
+        with pytest.raises(DagError):
+            network.run({"in": []})
+
+
+class TestKahnDeterminism:
+    """The point of the encoding: outputs independent of scheduling —
+    the KPN denotes a function on channel traces."""
+
+    def test_merge_matches_example_37(self):
+        network = merge_network()
+        xs, ys = ["a", "b", "c"], ["1", "2"]
+        outputs = network.run({"in0": xs, "in1": ys})
+        assert tuple(outputs["out"]) == DeterministicMerge.specification(xs, ys)
+
+    def test_scheduling_invariance(self):
+        network_factory = merge_network
+        results = set()
+        for seed in range(8):
+            outputs = network_factory().run(
+                {"in0": [1, 2, 3], "in1": [10, 20]}, seed=seed
+            )
+            results.add(tuple(outputs["out"]))
+        assert len(results) == 1
+
+    def test_fanout_network_invariance(self):
+        """Two independent consumers of a shared producer (via two
+        internal channels) — scheduling still cannot matter."""
+
+        def producer():
+            while True:
+                x = yield read("in")
+                yield write("c1", x)
+                yield write("c2", x)
+
+        def consumer(channel, out):
+            def program():
+                while True:
+                    x = yield read(channel)
+                    yield write(out, -x)
+
+            return program
+
+        def build():
+            network = KahnNetwork()
+            network.add_input("in")
+            network.add_output("o1")
+            network.add_output("o2")
+            network.add_process("producer", producer)
+            network.add_process("c1", consumer("c1", "o1"))
+            network.add_process("c2", consumer("c2", "o2"))
+            return network
+
+        results = set()
+        for seed in range(6):
+            outputs = build().run({"in": [1, 2, 3]}, seed=seed)
+            results.add((tuple(outputs["o1"]), tuple(outputs["o2"])))
+        assert results == {((-1, -2, -3), (-1, -2, -3))}
+
+
+class TestTraceEncoding:
+    def test_monotonicity_in_prefix_order(self):
+        """Kahn continuity = monotone trace transduction of the
+        channels type: extending an input channel extends outputs."""
+        beta = network_transduction(merge_network())
+        full = beta({"in0": [1, 2, 3], "in1": [10, 20]})
+        for cut0 in range(4):
+            for cut1 in range(3):
+                partial = network_transduction(merge_network())(
+                    {"in0": [1, 2, 3][:cut0], "in1": [10, 20][:cut1]}
+                )
+                n = len(partial["out"])
+                assert partial["out"] == full["out"][:n]
+
+    def test_channels_type_matches_shape(self):
+        from repro.traces.trace_type import channels_type
+
+        X = channels_type(["in0", "in1"])
+        assert X.name == "Channels(in0,in1)"
+        network = merge_network()
+        assert set(network.input_channels) == {"in0", "in1"}

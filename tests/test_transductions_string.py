@@ -1,0 +1,170 @@
+"""Data-string transductions: step/lift duality, the Section 3 worked
+examples, and the composition combinators."""
+
+import pytest
+
+from repro.traces.items import Item, marker
+from repro.traces.tags import Tag
+from repro.transductions.combinators import compose, parallel
+from repro.transductions.examples import (
+    DeterministicMerge,
+    KeyPartition,
+    RunningMaxFilter,
+    StreamingMax,
+)
+from repro.transductions.string_transduction import (
+    FunctionTransduction,
+    StringTransduction,
+    lift,
+)
+
+from conftest import M, measurements
+
+
+class Doubler(StringTransduction):
+    """Test operator: emit each number twice."""
+
+    def step(self, state, item):
+        return (item, item)
+
+
+class TestStringTransduction:
+    def test_run_is_lift(self):
+        f = RunningMaxFilter()
+        assert f.run([3, 1, 5, 2]) == [3, 5]
+        assert lift(f)([3, 1, 5, 2]) == [3, 5]
+
+    def test_example_34_table(self):
+        """The f / lift(f) table of Example 3.4."""
+        f = RunningMaxFilter()
+        assert f.on_prefix(()) == []
+        assert f.on_prefix((3,)) == [3]
+        assert f.on_prefix((3, 1)) == []
+        assert f.on_prefix((3, 1, 5)) == [5]
+        assert f.on_prefix((3, 1, 5, 2)) == []
+        assert f.cumulative((3, 1, 5, 2)) == [3, 5]
+
+    def test_increments_structure(self):
+        f = RunningMaxFilter()
+        increments = f.increments([3, 1, 5])
+        assert increments == [(None, []), (3, [3]), (1, []), (5, [5])]
+
+    def test_lift_is_monotone(self):
+        f = RunningMaxFilter()
+        items = [3, 1, 5, 2, 9, 4]
+        for cut in range(len(items)):
+            shorter = f.cumulative(items[:cut])
+            longer = f.cumulative(items[: cut + 1])
+            assert longer[: len(shorter)] == shorter
+
+    def test_function_transduction_matches_example_34(self):
+        def f(prefix):
+            if not prefix:
+                return ()
+            last = prefix[-1]
+            if all(last > a for a in prefix[:-1]):
+                return (last,)
+            return ()
+
+        spec = FunctionTransduction(f)
+        impl = RunningMaxFilter()
+        for items in ([], [3], [3, 1, 5, 2], [1, 2, 3], [5, 5]):
+            assert spec.run(items) == impl.run(items)
+
+    def test_function_transduction_f_eps(self):
+        spec = FunctionTransduction(lambda prefix: ("start",) if not prefix else ())
+        assert spec.run([]) == ["start"]
+        assert spec.run([1]) == ["start"]
+
+
+class TestDeterministicMerge:
+    def test_cyclic_reading(self):
+        m = DeterministicMerge()
+        left, right = Tag(0), Tag(1)
+        items = [Item(left, "x1"), Item(left, "x2"), Item(right, "y1")]
+        # merge(x1 x2, y1) = x1 y1 x2 (the m > n case of Example 3.7).
+        assert m.run(items) == ["x1", "y1", "x2"]
+
+    def test_matches_specification(self):
+        m = DeterministicMerge()
+        left, right = Tag(0), Tag(1)
+        xs, ys = ["a", "b", "c"], ["1", "2"]
+        items = [Item(left, x) for x in xs] + [Item(right, y) for y in ys]
+        assert tuple(m.run(items)) == DeterministicMerge.specification(xs, ys)
+
+    def test_specification_shapes(self):
+        assert DeterministicMerge.specification("ab", "xy") == ("a", "x", "b", "y")
+        assert DeterministicMerge.specification("abc", "x") == ("a", "x", "b")
+        assert DeterministicMerge.specification("", "xyz") == ()
+
+    def test_channel_order_independence(self):
+        """Interleaving of the two input channels must not matter."""
+        m = DeterministicMerge()
+        left, right = Tag(0), Tag(1)
+        a = [Item(left, 1), Item(right, 10), Item(left, 2), Item(right, 20)]
+        b = [Item(right, 10), Item(right, 20), Item(left, 1), Item(left, 2)]
+        assert m.run(a) == m.run(b)
+
+    def test_unknown_tag_rejected(self):
+        m = DeterministicMerge()
+        with pytest.raises(ValueError):
+            m.run([Item(Tag(7), "x")])
+
+
+class TestKeyPartition:
+    def test_partition_output_items(self):
+        p = KeyPartition(key=lambda x: x % 2)
+        out = p.run([4, 7, 8])
+        assert out == [Item(Tag(0), 4), Item(Tag(1), 7), Item(Tag(0), 8)]
+
+    def test_matches_specification(self):
+        items = [3, 1, 4, 1, 5, 9, 2, 6]
+        key = lambda x: x % 3
+        spec = KeyPartition.specification(items, key)
+        out = KeyPartition(key).run(items)
+        for k in spec:
+            assert [i.value for i in out if i.tag == Tag(k)] == spec[k]
+
+
+class TestStreamingMax:
+    def test_example_39(self, example31_type):
+        sm = StreamingMax()
+        items = (
+            measurements(5, 3, ts=1) + measurements(9, ts=2) + [marker(3)]
+        )
+        assert sm.run(items) == [5, 9, 9]
+
+    def test_empty_first_bag_emits_nothing(self):
+        sm = StreamingMax()
+        assert sm.run([marker(1)]) == []
+
+    def test_matches_specification(self):
+        assert StreamingMax.specification([[5, 3], [9], [], []]) == (5, 9, 9)
+        assert StreamingMax.specification([[1]]) == ()
+
+
+class TestCombinators:
+    def test_compose_streams_increments(self):
+        pipeline = compose(Doubler(), RunningMaxFilter())
+        # doubled: 3 3 1 1 5 5 -> running max filter: 3 5
+        assert pipeline.run([3, 1, 5]) == [3, 5]
+
+    def test_compose_single(self):
+        assert compose(Doubler()).run([1]) == [1, 1]
+
+    def test_compose_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compose()
+
+    def test_compose_associativity(self):
+        a = compose(compose(Doubler(), Doubler()), RunningMaxFilter())
+        b = compose(Doubler(), compose(Doubler(), RunningMaxFilter()))
+        items = [2, 1, 3]
+        assert a.run(items) == b.run(items)
+
+    def test_parallel_routing(self):
+        evens = RunningMaxFilter()
+        odds = RunningMaxFilter()
+        par = parallel(evens, odds, route_left=lambda x: x % 2 == 0)
+        out = par.run([2, 1, 4, 3, 0, 9])
+        assert out == [2, 1, 4, 3, 9]

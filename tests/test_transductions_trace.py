@@ -1,0 +1,86 @@
+"""Trace-transduction denotations (Section 3.3): well-definedness on
+equivalence classes and monotonicity w.r.t. the prefix order."""
+
+import random
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.traces.items import Item, marker
+from repro.traces.normal_form import random_equivalent_shuffle
+from repro.traces.tags import Tag
+from repro.traces.trace import DataTrace
+from repro.traces.trace_type import sequence_type
+from repro.transductions.examples import StreamingMax
+from repro.transductions.trace_transduction import TraceTransduction
+from repro.transductions.string_transduction import StringTransduction
+
+from conftest import M, measurements
+
+OUT = sequence_type(int, tag_name="out")
+
+
+class ItemStreamingMax(StringTransduction):
+    """StreamingMax with item-typed outputs."""
+
+    def initial(self):
+        return {"max": None}
+
+    def step(self, state, item):
+        if item.is_marker():
+            if state["max"] is None:
+                return ()
+            return (Item(Tag("out"), state["max"]),)
+        if state["max"] is None or item.value > state["max"]:
+            state["max"] = item.value
+        return ()
+
+
+def smax_denotation(example31_type):
+    return TraceTransduction(ItemStreamingMax(), example31_type, OUT)
+
+
+class TestDenotation:
+    def test_well_defined_on_classes(self, example31_type):
+        beta = smax_denotation(example31_type)
+        rng = random.Random(4)
+        items = measurements(5, 3, 8, ts=1) + measurements(9, ts=2)
+        base = beta.apply_sequence(items)
+        for _ in range(10):
+            shuffled = random_equivalent_shuffle(example31_type, items, rng)
+            assert beta.apply_sequence(shuffled) == base
+
+    def test_apply_on_trace_object(self, example31_type):
+        beta = smax_denotation(example31_type)
+        trace = DataTrace(example31_type, measurements(5, ts=1))
+        out = beta(trace)
+        assert [i.value for i in out.canonical] == [5]
+
+    def test_monotone_on_prefixes(self, example31_type):
+        beta = smax_denotation(example31_type)
+        items = measurements(2, 7, ts=1) + measurements(1, ts=2) + measurements(9)
+        assert beta.check_monotone_on(items, samples=8, seed=0)
+
+    def test_construction_time_verification_accepts(self, example31_type):
+        TraceTransduction(
+            ItemStreamingMax(),
+            example31_type,
+            OUT,
+            verify_on=[measurements(5, 3, ts=1)],
+        )
+
+    def test_construction_time_verification_rejects(self, example31_type):
+        class LeakOrder(StringTransduction):
+            def step(self, state, item):
+                if item.is_marker():
+                    return ()
+                return (Item(Tag("out"), item.value),)
+
+        with pytest.raises(ConsistencyError):
+            TraceTransduction(
+                LeakOrder(),
+                example31_type,
+                OUT,
+                verify_on=[measurements(5, 3, 8, ts=1)],
+                seed=2,
+            )

@@ -1,0 +1,88 @@
+"""Type-checker soundness as a property: pipelines that omit the SORT
+repair in front of an order-sensitive stage are always rejected, and the
+accepted fragment is closed under the Theorem 4.3 rewrites."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceTypeError
+from repro.dag import TransductionDAG, deploy, typecheck_dag
+from repro.operators.base import KV
+from repro.operators.keyed_ordered import OpKeyedOrdered
+from repro.operators.library import map_values, tumbling_count
+from repro.operators.sort import SortOp
+from repro.traces.trace_type import unordered_type
+
+U = unordered_type()
+
+
+class Ordered(OpKeyedOrdered):
+    def init(self):
+        return 0
+
+    def on_item(self, state, key, value, emit):
+        emit(key, state)
+        return state + 1
+
+
+def build(prefix_stages, with_sort):
+    """U source -> [prefix stages] -> (SORT?) -> ordered op -> sink."""
+    dag = TransductionDAG("prop")
+    upstream = dag.add_source("src", output_type=U)
+    for i, stage in enumerate(prefix_stages):
+        upstream = dag.add_op(stage, upstream=[upstream], edge_types=[None],
+                              name=f"s{i}")
+    if with_sort:
+        upstream = dag.add_op(SortOp(), upstream=[upstream], edge_types=[None])
+    dag.add_op(Ordered(), upstream=[upstream], edge_types=[None], name="ord")
+    ordered = [v for v in dag.vertices.values() if v.name == "ord"][0]
+    dag.add_sink("out", upstream=ordered)
+    return dag
+
+
+@st.composite
+def unordered_prefixes(draw):
+    """Random prefixes of stages with U (or identity-inferred) outputs."""
+    factories = [
+        lambda: map_values(lambda v: v),
+        lambda: tumbling_count(),
+    ]
+    n = draw(st.integers(0, 3))
+    return [factories[draw(st.integers(0, 1))]() for _ in range(n)]
+
+
+class TestSoundness:
+    @given(unordered_prefixes())
+    @settings(max_examples=25)
+    def test_missing_sort_always_rejected(self, prefix):
+        dag = build(prefix, with_sort=False)
+        with pytest.raises(TraceTypeError):
+            typecheck_dag(dag)
+
+    @given(unordered_prefixes())
+    @settings(max_examples=25)
+    def test_sort_repair_always_accepted(self, prefix):
+        dag = build(prefix, with_sort=True)
+        typecheck_dag(dag)
+
+    @given(unordered_prefixes(), st.integers(2, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_accepted_fragment_closed_under_deployment(self, prefix, n):
+        """Theorem 4.3 rewrites of a well-typed DAG stay well-typed."""
+        dag = build(prefix, with_sort=True)
+        typecheck_dag(dag)
+        for vertex in list(dag.vertices.values()):
+            vertex.parallelism = n
+        deployed = deploy(dag)
+        typecheck_dag(deployed)
+
+    def test_sort_after_ordered_op_accepted(self):
+        """Re-sorting an already ordered stream is harmless and typed."""
+        dag = TransductionDAG("resort")
+        src = dag.add_source("src", output_type=U)
+        sort1 = dag.add_op(SortOp(), upstream=[src], edge_types=[None])
+        ordered = dag.add_op(Ordered(), upstream=[sort1], edge_types=[None])
+        sort2 = dag.add_op(SortOp(), upstream=[ordered], edge_types=[None])
+        dag.add_sink("out", upstream=sort2)
+        typecheck_dag(dag)
