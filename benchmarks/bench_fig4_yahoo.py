@@ -24,7 +24,12 @@ from repro.bench import (
     measure_throughput,
     sweep_machines,
 )
-from repro.bench.reporting import ratios, scaling_factor
+from repro.bench.reporting import (
+    curve_summary,
+    emit_bench_json,
+    ratios,
+    scaling_factor,
+)
 from repro.compiler import compile_dag
 from repro.compiler.compile import CompilerOptions, source_from_events
 
@@ -143,6 +148,15 @@ def test_fig4_query(query, yahoo_workload, yahoo_events, benchmark):
     benchmark.extra_info["handcrafted_mtps"] = [
         round(p.throughput / 1e6, 4) for p in handcrafted
     ]
+
+    # Machine-readable emission: each query contributes its key to
+    # BENCH_fig4.json so the perf trajectory is tracked across PRs.
+    emit_bench_json("BENCH_fig4.json", {
+        f"query_{query}": {
+            "handcrafted": curve_summary(handcrafted),
+            "generated": curve_summary(generated),
+        },
+    })
 
     # The timed kernel: one generated-topology run at 8 machines.
     builder, _ = QUERY_BUILDERS[query]

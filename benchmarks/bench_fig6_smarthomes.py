@@ -9,7 +9,6 @@ shape assertion checks the scaling factor.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps.smarthomes import smart_homes_dag
 from repro.bench import (
@@ -19,7 +18,7 @@ from repro.bench import (
     measure_throughput,
     sweep_machines,
 )
-from repro.bench.reporting import scaling_factor
+from repro.bench.reporting import curve_summary, emit_bench_json, scaling_factor
 from repro.compiler import compile_dag
 from repro.compiler.compile import source_from_events
 
@@ -71,6 +70,10 @@ def test_fig6_smarthomes(smarthomes_workload, smarthomes_models, benchmark):
         assert b.throughput > a.throughput * 0.9
 
     benchmark.extra_info["mtps"] = [round(p.throughput / 1e6, 4) for p in points]
+
+    emit_bench_json("BENCH_fig6.json", {
+        "smarthomes": {"generated": curve_summary(points)},
+    })
 
     def kernel():
         return measure_throughput(build(8), 8, fused_cost_model(vertex_costs()))

@@ -14,7 +14,14 @@ from repro.bench.harness import (
     MarkerTriggerCost,
     ScalingPoint,
 )
-from repro.bench.reporting import format_scaling_table, format_comparison_table, ascii_chart
+from repro.bench.reporting import (
+    ascii_chart,
+    curve_summary,
+    emit_bench_json,
+    format_comparison_table,
+    format_scaling_table,
+    point_summary,
+)
 
 __all__ = [
     "fused_cost_model",
@@ -25,4 +32,7 @@ __all__ = [
     "format_scaling_table",
     "format_comparison_table",
     "ascii_chart",
+    "curve_summary",
+    "point_summary",
+    "emit_bench_json",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs import ObsContext
 from repro.operators.base import Event
 from repro.storm.cluster import Cluster
 from repro.storm.costs import PerComponentCostModel
@@ -168,10 +169,16 @@ def measure_throughput(
     cost_model,
     seed: int = 1,
     cores_per_machine: int = 2,
+    obs: Optional[ObsContext] = None,
 ) -> SimulationReport:
-    """Run one simulated execution and return its report."""
+    """Run one simulated execution and return its report.
+
+    Pass an enabled ``obs`` context to collect the run's metrics and
+    marker-epoch trace alongside the report (see :mod:`repro.obs`)."""
     cluster = Cluster(n_machines, cores_per_machine=cores_per_machine)
-    simulator = Simulator(topology, cluster, cost_model=cost_model, seed=seed)
+    simulator = Simulator(
+        topology, cluster, cost_model=cost_model, seed=seed, obs=obs
+    )
     return simulator.run()
 
 

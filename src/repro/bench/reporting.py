@@ -9,9 +9,13 @@ same series as rows; :func:`format_scaling_table` prints a single curve
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.bench.harness import ScalingPoint
+from repro.obs.metrics import percentile
 
 
 def _mtps(throughput: float) -> str:
@@ -83,3 +87,78 @@ def ascii_chart(
             f"{point.machines:>3} | {bar:<{width}} {_mtps(point.throughput)} M/s"
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable benchmark emission (BENCH_*.json)
+#
+# Every figure benchmark writes its measured series through here so the
+# perf trajectory is tracked across PRs.  Files are merge-updated: the
+# per-query Figure 4 tests each contribute their own top-level key to
+# one BENCH_fig4.json.
+
+#: Format marker for downstream tooling.
+BENCH_SCHEMA = "repro-bench-v1"
+
+
+def point_summary(
+    point: ScalingPoint, sinks: Optional[Sequence[str]] = None
+) -> Dict[str, Any]:
+    """One scaling point as JSON-clean numbers.
+
+    Marker latency percentiles pool every sink's per-timestamp
+    end-to-end latencies (see ``SimulationReport.marker_latencies``)."""
+    report = point.report
+    latencies: List[float] = []
+    for sink in (sinks if sinks is not None else sorted(report.sink_events)):
+        latencies.extend(report.marker_latencies(sink).values())
+    return {
+        "machines": point.machines,
+        "throughput_tps": point.throughput,
+        "makespan_s": point.makespan,
+        "mean_utilization": report.mean_utilization(),
+        "marker_latency_p50_s": percentile(latencies, 50),
+        "marker_latency_p99_s": percentile(latencies, 99),
+        "marker_epochs": len(latencies),
+    }
+
+
+def curve_summary(
+    points: Sequence[ScalingPoint], sinks: Optional[Sequence[str]] = None
+) -> List[Dict[str, Any]]:
+    """A whole throughput-vs-machines curve as point summaries."""
+    return [point_summary(point, sinks) for point in points]
+
+
+def bench_output_dir() -> Path:
+    """Where BENCH_*.json land: ``$REPRO_BENCH_DIR`` or the cwd."""
+    return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+def emit_bench_json(
+    filename: str,
+    entries: Dict[str, Any],
+    out_dir: Optional[Path] = None,
+) -> Path:
+    """Merge ``entries`` into ``filename`` (read-modify-write).
+
+    Merging lets parametrized benchmarks (one pytest case per query)
+    accumulate into a single file; an unparsable existing file is
+    replaced rather than crashing the benchmark."""
+    directory = Path(out_dir) if out_dir is not None else bench_output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / filename
+    data: Dict[str, Any] = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict):
+                data = loaded
+        except ValueError:
+            data = {}
+    data.update(entries)
+    data["schema"] = BENCH_SCHEMA
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

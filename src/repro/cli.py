@@ -3,8 +3,14 @@
 Commands regenerate the paper's evaluation artifacts without pytest:
 
 - ``fig4 [QUERY]`` — the Figure 4 throughput comparison (all queries or
-  one of I/II/III/IV/V/VI);
-- ``fig6`` — the Figure 6 Smart-Homes scaling curve;
+  one of I/II/III/IV/V/VI); ``--trace-out`` additionally captures a
+  marker-epoch trace of one instrumented run;
+- ``fig6`` — the Figure 6 Smart-Homes scaling curve (same
+  ``--trace-out`` support);
+- ``obs {fig6|fig4|iot}`` — run one instrumented simulation and print
+  the stall-diagnostics report (alignment-stall vs. CPU ranking, skewed
+  channels); ``--trace-out`` writes a Chrome-trace JSON for
+  ``chrome://tracing``, ``--jsonl-out`` the raw span/sample records;
 - ``motivation`` — the Section 2 naive-vs-typed soundness experiment;
 - ``show-dag {quickstart|yahoo|smarthomes|iot}`` — print a DAG (add
   ``--dot`` for Graphviz output).
@@ -13,21 +19,61 @@ Commands regenerate the paper's evaluation artifacts without pytest:
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+
+
+def _instrumented_run(
+    topology, machines: int, cost_model, trace_out=None, jsonl_out=None,
+    report_json=None,
+) -> int:
+    """One observed simulation: print the stall report, write traces."""
+    from repro.bench import measure_throughput
+    from repro.obs import ObsContext, stall_report
+
+    obs = ObsContext.collecting()
+    report = measure_throughput(topology, machines, cost_model, obs=obs)
+    diagnostics = stall_report(obs.tracer, obs.metrics, report.makespan)
+    print(diagnostics.format())
+    print()
+    print(f"throughput: {report.throughput():,.0f} tuples/s over "
+          f"{machines} machines; mean utilization "
+          f"{report.mean_utilization():.2%}")
+    if trace_out:
+        obs.tracer.write_chrome_trace(trace_out)
+        print(f"Chrome trace written to {trace_out} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    if jsonl_out:
+        obs.tracer.write_jsonl(jsonl_out)
+        print(f"JSONL trace written to {jsonl_out}")
+    if report_json:
+        parent = os.path.dirname(report_json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(report_json, "w", encoding="utf-8") as fh:
+            json.dump(diagnostics.to_dict(), fh, indent=2)
+        print(f"stall report written to {report_json}")
+    return 0
+
+
+def _fig4_workload():
+    from repro.apps.yahoo.events import YahooWorkload
+
+    return YahooWorkload(
+        seconds=5, events_per_second=800, n_campaigns=20, ads_per_campaign=10,
+        n_users=200, n_locations=8, seed=7,
+    )
 
 
 def _fig4(args) -> int:
     sys.path.insert(0, "benchmarks")
-    from repro.apps.yahoo.events import YahooWorkload
     from repro.apps.yahoo.queries import QUERY_BUILDERS
     from repro.bench import format_comparison_table
 
     from bench_fig4_yahoo import run_query_sweep  # type: ignore
 
-    workload = YahooWorkload(
-        seconds=5, events_per_second=800, n_campaigns=20, ads_per_campaign=10,
-        n_users=200, n_locations=8, seed=7,
-    )
+    workload = _fig4_workload()
     events = workload.events()
     queries = [args.query] if args.query else list(QUERY_BUILDERS)
     for query in queries:
@@ -37,29 +83,60 @@ def _fig4(args) -> int:
             handcrafted, generated,
         ))
         print()
+    if args.trace_out:
+        query = queries[-1]
+        print(f"Instrumented run (query {query}, 8 machines):")
+        topology, cost_model = _fig4_compiled(workload, events, query, 8)
+        return _instrumented_run(
+            topology, 8, cost_model, trace_out=args.trace_out,
+        )
     return 0
 
 
-def _fig6(args) -> int:
+def _fig4_compiled(workload, events, query: str, machines: int):
+    """The generated Figure 4 topology + cost model for one query."""
+    sys.path.insert(0, "benchmarks")
+    from repro.apps.yahoo.queries import QUERY_BUILDERS
+    from repro.bench import fused_cost_model
+    from repro.compiler import compile_dag
+    from repro.compiler.compile import source_from_events
+
+    from bench_fig4_yahoo import vertex_costs_for  # type: ignore
+    from conftest import SPOUTS, TASKS_PER_MACHINE  # type: ignore
+
+    builder, _ = QUERY_BUILDERS[query]
+    dag = builder(
+        workload.make_database(), parallelism=machines * TASKS_PER_MACHINE
+    )
+    compiled = compile_dag(dag, {"events": source_from_events(events, SPOUTS)})
+    return compiled.topology, fused_cost_model(vertex_costs_for(query))
+
+
+def _smarthomes_setup(small: bool = False):
+    """Workload, topology builder, and cost-model factory for Figure 6.
+
+    ``small`` shrinks the workload for quick diagnostics runs
+    (``repro obs fig6``) while keeping the full pipeline shape."""
     from repro.apps.smarthomes import (
         SmartHomesWorkload,
         smart_homes_dag,
         train_predictor,
     )
-    from repro.bench import (
-        MarkerTriggerCost,
-        format_scaling_table,
-        fused_cost_model,
-        sweep_machines,
-    )
-    from repro.bench.reporting import ascii_chart
+    from repro.bench import MarkerTriggerCost, fused_cost_model
     from repro.compiler import compile_dag
     from repro.compiler.compile import source_from_events
 
-    workload = SmartHomesWorkload(
-        n_buildings=12, units_per_building=5, plugs_per_unit=4, duration=120,
-    )
-    models = train_predictor(horizon=120, train_seconds=800, past=60)
+    if small:
+        workload = SmartHomesWorkload(
+            n_buildings=6, units_per_building=4, plugs_per_unit=3, duration=60,
+        )
+        models = train_predictor(horizon=120, train_seconds=400, past=60)
+    else:
+        workload = SmartHomesWorkload(
+            n_buildings=12, units_per_building=5, plugs_per_unit=4,
+            duration=120,
+        )
+        models = train_predictor(horizon=120, train_seconds=800, past=60)
     events = workload.events()
 
     def vertex_costs():
@@ -77,14 +154,58 @@ def _fig6(args) -> int:
         dag = smart_homes_dag(workload.make_database(), models, parallelism=2 * n)
         return compile_dag(dag, {"hub": source_from_events(events, 2)}).topology
 
+    return build, lambda: fused_cost_model(vertex_costs())
+
+
+def _fig6(args) -> int:
+    from repro.bench import format_scaling_table, sweep_machines
+    from repro.bench.reporting import ascii_chart
+
+    build, cost_model_for = _smarthomes_setup()
     points = sweep_machines(
-        build, lambda n: fused_cost_model(vertex_costs()),
-        machines=range(1, 9),
+        build, lambda n: cost_model_for(), machines=range(1, 9),
     )
     print(format_scaling_table("Figure 6 / Smart Homes:", points))
     print()
     print(ascii_chart(points, title="throughput vs machines"))
+    if args.trace_out:
+        print()
+        print("Instrumented run (8 machines):")
+        return _instrumented_run(
+            build(8), 8, cost_model_for(), trace_out=args.trace_out,
+        )
     return 0
+
+
+def _obs(args) -> int:
+    """Run one instrumented topology and print stall diagnostics."""
+    if args.target == "fig6":
+        machines = args.machines or 4
+        build, cost_model_for = _smarthomes_setup(small=True)
+        topology, cost_model = build(machines), cost_model_for()
+    elif args.target == "fig4":
+        machines = args.machines or 4
+        workload = _fig4_workload()
+        topology, cost_model = _fig4_compiled(
+            workload, workload.events(), args.query or "IV", machines,
+        )
+    else:  # iot: tiny topology, the CI smoke target
+        from repro.apps.iot import SensorWorkload, iot_typed_dag
+        from repro.bench import fused_cost_model
+        from repro.compiler import compile_dag
+        from repro.compiler.compile import source_from_events
+
+        machines = args.machines or 2
+        events = SensorWorkload().events()
+        compiled = compile_dag(
+            iot_typed_dag(parallelism=2),
+            {"SENSOR": source_from_events(events, 2)},
+        )
+        topology, cost_model = compiled.topology, fused_cost_model({})
+    return _instrumented_run(
+        topology, machines, cost_model, trace_out=args.trace_out,
+        jsonl_out=args.jsonl_out, report_json=args.report_json,
+    )
 
 
 def _motivation(args) -> int:
@@ -170,10 +291,33 @@ def main(argv=None) -> int:
 
     p_fig4 = sub.add_parser("fig4", help="Figure 4 throughput comparison")
     p_fig4.add_argument("query", nargs="?", choices=["I", "II", "III", "IV", "V", "VI"])
+    p_fig4.add_argument("--trace-out", metavar="PATH",
+                        help="also capture a Chrome trace of one "
+                             "instrumented 8-machine run")
     p_fig4.set_defaults(func=_fig4)
 
     p_fig6 = sub.add_parser("fig6", help="Figure 6 Smart-Homes scaling")
+    p_fig6.add_argument("--trace-out", metavar="PATH",
+                        help="also capture a Chrome trace of one "
+                             "instrumented 8-machine run")
     p_fig6.set_defaults(func=_fig6)
+
+    p_obs = sub.add_parser(
+        "obs", help="instrumented run + stall diagnostics report"
+    )
+    p_obs.add_argument("target", choices=["fig6", "fig4", "iot"],
+                       help="which topology to observe")
+    p_obs.add_argument("--machines", type=int, default=None,
+                       help="cluster size (default: 4, iot: 2)")
+    p_obs.add_argument("--query", choices=["I", "II", "III", "IV", "V", "VI"],
+                       help="fig4 query to observe (default IV)")
+    p_obs.add_argument("--trace-out", metavar="PATH",
+                       help="write Chrome-trace JSON (chrome://tracing)")
+    p_obs.add_argument("--jsonl-out", metavar="PATH",
+                       help="write raw span/sample records as JSONL")
+    p_obs.add_argument("--report-json", metavar="PATH",
+                       help="write the stall report as JSON")
+    p_obs.set_defaults(func=_obs)
 
     p_mot = sub.add_parser("motivation", help="Section 2 soundness experiment")
     p_mot.add_argument("--seeds", type=int, default=10)

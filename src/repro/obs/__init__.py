@@ -1,0 +1,82 @@
+"""Runtime observability: metrics, marker-epoch tracing, stall reports.
+
+The layer is zero-dependency and opt-in.  The simulator (and everything
+built on it) takes an optional :class:`ObsContext`; when ``None`` the
+hot path pays a single ``is None`` check per instrumentation site.  An
+enabled context carries a :class:`~repro.obs.metrics.MetricsRegistry`
+(counters / gauges / histograms) and a
+:class:`~repro.obs.tracing.Tracer` (marker-epoch spans, busy intervals,
+queue-depth timelines), which feed
+:func:`~repro.obs.report.stall_report` and the Chrome-trace / JSONL
+exports.
+
+Typical use::
+
+    from repro.obs import ObsContext
+    obs = ObsContext.collecting()
+    report = Simulator(topology, cluster, obs=obs).run()
+    print(stall_report(obs.tracer, obs.metrics, report.makespan).format())
+    obs.tracer.write_chrome_trace("trace.json")   # chrome://tracing
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    percentile,
+)
+from repro.obs.tracing import NullTracer, NULL_TRACER, Sample, Span, Tracer
+from repro.obs.report import BoltDiagnostics, StallReport, stall_report
+
+
+class ObsContext:
+    """Bundle of one run's metrics registry and tracer.
+
+    ``ObsContext()`` is disabled (null registry + null tracer) — useful
+    as an explicit "off" value; :meth:`collecting` builds an enabled
+    context.  ``enabled`` is precomputed so instrumentation sites check
+    one attribute.
+    """
+
+    __slots__ = ("metrics", "tracer", "enabled")
+
+    def __init__(self, metrics=None, tracer=None):
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.enabled = bool(self.metrics.enabled or self.tracer.enabled)
+
+    @classmethod
+    def collecting(cls) -> "ObsContext":
+        """An enabled context with fresh registry and tracer."""
+        return cls(MetricsRegistry(), Tracer())
+
+    def stall_report(self, makespan: Optional[float] = None) -> StallReport:
+        metrics = self.metrics if isinstance(self.metrics, MetricsRegistry) else None
+        return stall_report(self.tracer, metrics, makespan)
+
+
+__all__ = [
+    "ObsContext",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "percentile",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Sample",
+    "BoltDiagnostics",
+    "StallReport",
+    "stall_report",
+]

@@ -1,0 +1,221 @@
+"""Counters, gauges, and histograms with a pluggable registry.
+
+The runtime is instrumented against the abstract registry interface;
+production runs pass a :class:`MetricsRegistry` and get a full metric
+snapshot, while the default :class:`NullRegistry` turns every metric
+into a shared no-op singleton so the hot path pays a single attribute
+check (``registry.enabled``) when observability is disabled.
+
+Metric identity is ``(name, labels)``: the same name with different
+label values is a different time series, as in Prometheus.  Label values
+are stringified at creation so snapshots are JSON-clean.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _labels_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (tuples processed, bytes buffered)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value with max/min tracking.
+
+    ``set`` records the latest value and keeps the running extremes;
+    ``set_max`` only ratchets upward and optionally remembers a note
+    describing the moment the maximum was reached (e.g. which merge
+    channel was lagging when skew peaked).
+    """
+
+    __slots__ = ("name", "labels", "value", "max", "min", "note")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value: Optional[float] = None
+        self.max: Optional[float] = None
+        self.min: Optional[float] = None
+        self.note: Optional[str] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.min is None or value < self.min:
+            self.min = value
+
+    def set_max(self, value: float, note: Optional[str] = None) -> None:
+        self.value = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+            if note is not None:
+                self.note = note
+
+
+class Histogram:
+    """Exact-sample histogram (runs are finite, so we keep every sample).
+
+    Percentiles use the nearest-rank method over the sorted samples.
+    """
+
+    __slots__ = ("name", "labels", "samples", "_sorted")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.samples: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        if self._sorted and self.samples and value < self.samples[-1]:
+            self._sorted = False
+        self.samples.append(value)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self.samples.sort()
+            self._sorted = True
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        self._ensure_sorted()
+        rank = max(0, min(len(self.samples) - 1,
+                          int(round(p / 100.0 * (len(self.samples) - 1)))))
+        return self.samples[rank]
+
+    def count(self) -> int:
+        return len(self.samples)
+
+    def sum(self) -> float:
+        return sum(self.samples)
+
+    def mean(self) -> float:
+        return self.sum() / len(self.samples) if self.samples else 0.0
+
+
+class _NullInstrument:
+    """Shared no-op standing in for every metric when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float, note: Optional[str] = None) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Creates and stores metrics; snapshotting renders them JSON-clean."""
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: Dict[MetricKey, Any] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, Any]):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1])
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def metrics(self) -> List[Any]:
+        return list(self._metrics.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """``{metric name: {label string: value summary}}``."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            label_str = ",".join(f"{k}={v}" for k, v in labels) or "_"
+            family = out.setdefault(name, {})
+            if isinstance(metric, Counter):
+                family[label_str] = metric.value
+            elif isinstance(metric, Gauge):
+                family[label_str] = {
+                    "value": metric.value, "max": metric.max,
+                    "min": metric.min, "note": metric.note,
+                }
+            else:
+                family[label_str] = {
+                    "count": metric.count(), "sum": metric.sum(),
+                    "mean": metric.mean(),
+                    "p50": metric.percentile(50),
+                    "p99": metric.percentile(99),
+                }
+        return out
+
+
+class NullRegistry:
+    """Disabled registry: every metric is the shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def metrics(self) -> List[Any]:
+        return []
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {}
+
+
+#: Module-level disabled registry — the default everywhere.
+NULL_REGISTRY = NullRegistry()
+
+
+def percentile(values, p: float) -> float:
+    """Nearest-rank percentile of an arbitrary sequence (no histogram)."""
+    data = sorted(values)
+    if not data:
+        return 0.0
+    rank = max(0, min(len(data) - 1, int(round(p / 100.0 * (len(data) - 1)))))
+    return data[rank]

@@ -1,0 +1,215 @@
+"""Stall diagnostics over collected spans and metrics.
+
+Answers "where does time go?" for one instrumented run: for every bolt,
+how much core time it burned (CPU), how long its marker epochs sat
+waiting for alignment (stall), and whether any upstream channel is
+skewed (persistently ahead of the others, forcing the merge frontend to
+buffer).  Bolts are ranked by alignment-stall time — the top entries are
+where adding parallelism or rebalancing channels pays off, while a bolt
+whose CPU dominates its stall is compute-bound and needs a cheaper
+operator or more cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import CAT_EPOCH, CAT_EXEC, CAT_MEMBER, Tracer
+
+#: Channels this many markers apart (at peak) are flagged as skewed.
+SKEW_THRESHOLD = 2.0
+
+
+@dataclass
+class BoltDiagnostics:
+    """Aggregated view of one component across its tasks."""
+
+    component: str
+    tasks: int = 0
+    cpu_seconds: float = 0.0
+    executions: int = 0
+    stall_seconds: float = 0.0
+    epochs: int = 0
+    unaligned_epochs: int = 0
+    max_epoch_wait: float = 0.0
+    member_cpu: Dict[str, float] = field(default_factory=dict)
+    max_skew: float = 0.0
+    skew_note: Optional[str] = None
+    max_buffered_tuples: float = 0.0
+    max_buffered_bytes: float = 0.0
+    max_queue_depth: float = 0.0
+
+    def mean_epoch_wait(self) -> float:
+        return self.stall_seconds / self.epochs if self.epochs else 0.0
+
+    def stall_cpu_ratio(self) -> float:
+        if self.cpu_seconds:
+            return self.stall_seconds / self.cpu_seconds
+        return float("inf") if self.stall_seconds else 0.0
+
+    def is_skewed(self) -> bool:
+        return self.max_skew >= SKEW_THRESHOLD
+
+
+@dataclass
+class StallReport:
+    """Per-component diagnostics, ranked by alignment-stall time."""
+
+    rows: List[BoltDiagnostics]
+    makespan: Optional[float] = None
+
+    def skewed(self) -> List[BoltDiagnostics]:
+        return [row for row in self.rows if row.is_skewed()]
+
+    def row(self, component: str) -> Optional[BoltDiagnostics]:
+        for row in self.rows:
+            if row.component == component:
+                return row
+        return None
+
+    def format(self, top_members: int = 3) -> str:
+        lines = ["Stall diagnostics (ranked by alignment-stall time)"]
+        if self.makespan is not None:
+            lines[0] += f" — makespan {self.makespan * 1e3:.3f} ms"
+        header = (
+            f"{'component':<28} {'stall(ms)':>10} {'cpu(ms)':>9} "
+            f"{'stall/cpu':>9} {'epochs':>6} {'maxwait(ms)':>11} "
+            f"{'maxskew':>7} {'buffered':>8}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            ratio = row.stall_cpu_ratio()
+            ratio_str = f"{ratio:.2f}" if ratio != float("inf") else "inf"
+            lines.append(
+                f"{row.component[:28]:<28} {row.stall_seconds * 1e3:>10.3f} "
+                f"{row.cpu_seconds * 1e3:>9.3f} {ratio_str:>9} "
+                f"{row.epochs:>6} {row.max_epoch_wait * 1e3:>11.3f} "
+                f"{row.max_skew:>7.0f} {row.max_buffered_tuples:>8.0f}"
+            )
+            if row.member_cpu:
+                members = sorted(row.member_cpu.items(),
+                                 key=lambda kv: kv[1], reverse=True)
+                detail = ", ".join(
+                    f"{name}={cpu * 1e3:.3f}ms"
+                    for name, cpu in members[:top_members]
+                )
+                lines.append(f"{'':<28}   members: {detail}")
+        skewed = self.skewed()
+        if skewed:
+            lines.append("")
+            lines.append("Skewed channels (markers-ahead spread >= "
+                         f"{SKEW_THRESHOLD:.0f}):")
+            for row in skewed:
+                note = f" (laggard: {row.skew_note})" if row.skew_note else ""
+                lines.append(
+                    f"  {row.component}: peak spread {row.max_skew:.0f} "
+                    f"markers, {row.max_buffered_tuples:.0f} tuples buffered"
+                    f"{note}"
+                )
+        else:
+            lines.append("")
+            lines.append("No skewed channels detected.")
+        if any(row.unaligned_epochs for row in self.rows):
+            lines.append("")
+            lines.append("WARNING: unaligned epochs at run end:")
+            for row in self.rows:
+                if row.unaligned_epochs:
+                    lines.append(
+                        f"  {row.component}: {row.unaligned_epochs} epochs "
+                        "never completed alignment"
+                    )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "makespan": self.makespan,
+            "rows": [
+                {
+                    "component": row.component,
+                    "tasks": row.tasks,
+                    "cpu_seconds": row.cpu_seconds,
+                    "stall_seconds": row.stall_seconds,
+                    "epochs": row.epochs,
+                    "unaligned_epochs": row.unaligned_epochs,
+                    "mean_epoch_wait": row.mean_epoch_wait(),
+                    "max_epoch_wait": row.max_epoch_wait,
+                    "member_cpu": dict(row.member_cpu),
+                    "max_skew": row.max_skew,
+                    "skewed": row.is_skewed(),
+                    "max_buffered_tuples": row.max_buffered_tuples,
+                    "max_queue_depth": row.max_queue_depth,
+                }
+                for row in self.rows
+            ],
+        }
+
+
+def stall_report(
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+    makespan: Optional[float] = None,
+) -> StallReport:
+    """Aggregate a tracer (and optional registry) into a ranked report."""
+    rows: Dict[str, BoltDiagnostics] = {}
+    tasks_seen: Dict[str, set] = {}
+
+    def row_for(component: str) -> BoltDiagnostics:
+        row = rows.get(component)
+        if row is None:
+            row = BoltDiagnostics(component)
+            rows[component] = row
+        return row
+
+    for span in tracer.spans:
+        row = row_for(span.component)
+        tasks_seen.setdefault(span.component, set()).add(span.task_index)
+        if span.cat == CAT_EXEC:
+            row.cpu_seconds += span.duration()
+            row.executions += 1
+        elif span.cat == CAT_MEMBER:
+            row.member_cpu[span.name] = (
+                row.member_cpu.get(span.name, 0.0) + span.duration()
+            )
+        elif span.cat == CAT_EPOCH:
+            row.stall_seconds += span.duration()
+            row.epochs += 1
+            row.max_epoch_wait = max(row.max_epoch_wait, span.duration())
+            if span.args.get("unaligned"):
+                row.unaligned_epochs += 1
+
+    for component, tasks in tasks_seen.items():
+        rows[component].tasks = len(tasks)
+
+    if metrics is not None:
+        for metric in metrics.metrics():
+            labels = dict(metric.labels)
+            component = labels.get("component")
+            if component is None:
+                continue
+            row = row_for(component)
+            if metric.name == "merge_skew":
+                peak = getattr(metric, "max", None) or 0.0
+                if peak > row.max_skew:
+                    row.max_skew = peak
+                    row.skew_note = getattr(metric, "note", None)
+            elif metric.name == "merge_buffered_tuples":
+                row.max_buffered_tuples = max(
+                    row.max_buffered_tuples, getattr(metric, "max", 0) or 0
+                )
+            elif metric.name == "merge_buffered_bytes":
+                row.max_buffered_bytes = max(
+                    row.max_buffered_bytes, getattr(metric, "max", 0) or 0
+                )
+            elif metric.name == "queue_depth":
+                row.max_queue_depth = max(
+                    row.max_queue_depth, getattr(metric, "max", 0) or 0
+                )
+
+    ordered = sorted(
+        rows.values(), key=lambda r: (r.stall_seconds, r.cpu_seconds),
+        reverse=True,
+    )
+    return StallReport(ordered, makespan=makespan)

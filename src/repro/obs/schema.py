@@ -1,0 +1,151 @@
+"""Schema validation for exported JSONL traces.
+
+The JSONL export (:meth:`repro.obs.tracing.Tracer.write_jsonl`) emits one
+record per line.  Two record types exist:
+
+``span``::
+
+    {"type": "span", "name": str, "cat": "exec"|"member"|"epoch",
+     "component": str, "task": int, "machine": int,
+     "start": float, "end": float, "args": object}
+
+``sample``::
+
+    {"type": "sample", "name": str, "component": str, "task": int,
+     "time": float, "value": number}
+
+Invariants checked beyond field shapes:
+
+- ``start <= end`` for every span;
+- every ``epoch`` span carries an ``epoch`` arg;
+- ``member`` spans lie within some ``exec`` span of the same task.
+
+Runnable: ``python -m repro.obs.schema TRACE.jsonl`` exits non-zero on
+the first invalid record (the CI smoke job uses this).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Tuple
+
+_SPAN_FIELDS = {
+    "name": str, "cat": str, "component": str, "task": int,
+    "machine": int, "start": (int, float), "end": (int, float),
+    "args": dict,
+}
+_SAMPLE_FIELDS = {
+    "name": str, "component": str, "task": int,
+    "time": (int, float), "value": (int, float),
+}
+SPAN_CATEGORIES = {"exec", "member", "epoch"}
+
+
+class TraceSchemaError(ValueError):
+    """A record violates the JSONL trace schema."""
+
+
+def _check_fields(record: Dict[str, Any], fields: Dict[str, Any],
+                  line: int) -> None:
+    for name, types in fields.items():
+        if name not in record:
+            raise TraceSchemaError(f"line {line}: missing field {name!r}")
+        if not isinstance(record[name], types):
+            raise TraceSchemaError(
+                f"line {line}: field {name!r} has type "
+                f"{type(record[name]).__name__}, expected {types}"
+            )
+    # bool is an int subclass; reject it for numeric fields explicitly.
+    for name in ("task", "machine", "start", "end", "time", "value"):
+        if name in fields and isinstance(record.get(name), bool):
+            raise TraceSchemaError(f"line {line}: field {name!r} is a bool")
+
+
+def validate_records(records: Iterable[Tuple[int, Dict[str, Any]]]) -> int:
+    """Validate (line number, record) pairs; return the record count."""
+    execs: Dict[Tuple[str, int], List[Tuple[float, float]]] = {}
+    members: List[Tuple[int, Dict[str, Any]]] = []
+    count = 0
+    for line, record in records:
+        count += 1
+        rtype = record.get("type")
+        if rtype == "span":
+            _check_fields(record, _SPAN_FIELDS, line)
+            if record["cat"] not in SPAN_CATEGORIES:
+                raise TraceSchemaError(
+                    f"line {line}: unknown span category {record['cat']!r}"
+                )
+            if record["start"] > record["end"]:
+                raise TraceSchemaError(
+                    f"line {line}: span start {record['start']} after end "
+                    f"{record['end']}"
+                )
+            if record["cat"] == "epoch" and "epoch" not in record["args"]:
+                raise TraceSchemaError(
+                    f"line {line}: epoch span missing args.epoch"
+                )
+            if record["cat"] == "exec":
+                execs.setdefault(
+                    (record["component"], record["task"]), []
+                ).append((record["start"], record["end"]))
+            elif record["cat"] == "member":
+                members.append((line, record))
+        elif rtype == "sample":
+            _check_fields(record, _SAMPLE_FIELDS, line)
+        else:
+            raise TraceSchemaError(f"line {line}: unknown record type {rtype!r}")
+    eps = 1e-9
+    for line, record in members:
+        intervals = execs.get((record["component"], record["task"]), [])
+        if not any(s - eps <= record["start"] and record["end"] <= e + eps
+                   for s, e in intervals):
+            raise TraceSchemaError(
+                f"line {line}: member span [{record['start']}, "
+                f"{record['end']}] outside every exec span of "
+                f"{record['component']}[{record['task']}]"
+            )
+    return count
+
+
+def validate_jsonl(path: str) -> int:
+    """Validate a JSONL trace file; return the number of records."""
+
+    def records():
+        with open(path, "r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceSchemaError(
+                        f"line {line_no}: invalid JSON ({exc})"
+                    ) from exc
+                if not isinstance(record, dict):
+                    raise TraceSchemaError(f"line {line_no}: not an object")
+                yield line_no, record
+
+    return validate_records(records())
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema TRACE.jsonl", file=sys.stderr)
+        return 2
+    try:
+        count = validate_jsonl(argv[0])
+    except TraceSchemaError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"OK: {count} records")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,260 @@
+"""Marker-epoch tracing for simulated topology runs.
+
+The unit of observation is the *marker epoch*: one synchronization-marker
+timestamp traversing one task.  For every ``(task, epoch)`` the tracer
+records when the first marker of the epoch arrived at the task, when
+alignment released it (the merge frontend emitted the aligned marker and
+flushed the buffered block), and how much was flushed.  Around those it
+records task busy intervals (one span per bolt execution, with per-fused-
+member sub-spans) and queue-depth samples.
+
+Spans live on a simulated clock (seconds); exports scale to microseconds
+so the Chrome trace viewer (``chrome://tracing`` / Perfetto) renders the
+timeline directly.  Two export formats:
+
+- :meth:`Tracer.write_jsonl` — one JSON object per line, schema in
+  :mod:`repro.obs.schema`;
+- :meth:`Tracer.write_chrome_trace` — the Chrome Trace Event Format
+  (``{"traceEvents": [...]}``) with machines as processes and tasks as
+  threads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _open_for_write(path: str):
+    """Open ``path`` for writing, creating parent directories."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return open(path, "w", encoding="utf-8")
+
+TaskKey = Tuple[str, int]
+
+#: Span categories emitted by the simulator instrumentation.
+CAT_EXEC = "exec"        # one bolt/spout execution (task busy interval)
+CAT_MEMBER = "member"    # one fused-chain member inside an execution
+CAT_EPOCH = "epoch"      # marker arrival -> alignment release at a task
+
+
+@dataclass
+class Span:
+    """A closed interval on the simulated clock, attributed to a task."""
+
+    name: str
+    cat: str
+    component: str
+    task_index: int
+    machine: int
+    start: float
+    end: float
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Sample:
+    """One point of a per-task counter timeline (e.g. queue depth)."""
+
+    name: str
+    component: str
+    task_index: int
+    time: float
+    value: float
+
+
+class Tracer:
+    """Collects spans and counter samples during one simulated run."""
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self.samples: List[Sample] = []
+        #: (component, task_index, epoch timestamp) -> (arrival, machine)
+        self._open_epochs: Dict[Tuple[str, int, Any], Tuple[float, int]] = {}
+        self.finalized = False
+
+    # -- recording -----------------------------------------------------
+
+    def exec_span(self, component: str, task_index: int, machine: int,
+                  start: float, end: float,
+                  args: Optional[Dict[str, Any]] = None) -> None:
+        self.spans.append(Span(component, CAT_EXEC, component, task_index,
+                               machine, start, end, args or {}))
+
+    def member_span(self, component: str, task_index: int, machine: int,
+                    vertex: str, start: float, end: float,
+                    events: int = 0) -> None:
+        self.spans.append(Span(vertex, CAT_MEMBER, component, task_index,
+                               machine, start, end, {"events": events}))
+
+    def epoch_arrival(self, component: str, task_index: int, machine: int,
+                      epoch: Any, time: float) -> None:
+        """First marker of ``epoch`` delivered to the task (idempotent)."""
+        self._open_epochs.setdefault(
+            (component, task_index, epoch), (time, machine)
+        )
+
+    def epoch_release(self, component: str, task_index: int, epoch: Any,
+                      time: float,
+                      args: Optional[Dict[str, Any]] = None) -> float:
+        """Alignment completed for ``epoch`` at the task; close its span.
+
+        Returns the wait (release minus first-marker arrival)."""
+        key = (component, task_index, epoch)
+        opened = self._open_epochs.pop(key, None)
+        if opened is None:
+            # Release without a recorded arrival (single-channel frontends
+            # can align within the same delivery): zero-length span.
+            opened = (time, -1)
+        start, machine = opened
+        span_args = {"epoch": str(epoch)}
+        if args:
+            span_args.update(args)
+        self.spans.append(Span(f"epoch {epoch}", CAT_EPOCH, component,
+                               task_index, machine, start, time, span_args))
+        return time - start
+
+    def sample(self, name: str, component: str, task_index: int,
+               time: float, value: float) -> None:
+        self.samples.append(Sample(name, component, task_index, time, value))
+
+    def finalize(self, end_time: float) -> None:
+        """Close any epochs that never aligned (flagged ``unaligned``)."""
+        if self.finalized:
+            return
+        for (component, task_index, epoch), (start, machine) in sorted(
+            self._open_epochs.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            self.spans.append(Span(
+                f"epoch {epoch}", CAT_EPOCH, component, task_index, machine,
+                start, max(end_time, start),
+                {"epoch": str(epoch), "unaligned": True},
+            ))
+        self._open_epochs.clear()
+        self.finalized = True
+
+    # -- queries -------------------------------------------------------
+
+    def spans_by_cat(self, cat: str) -> List[Span]:
+        return [s for s in self.spans if s.cat == cat]
+
+    def open_epoch_count(self) -> int:
+        return len(self._open_epochs)
+
+    # -- export --------------------------------------------------------
+
+    def jsonl_records(self) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = []
+        for span in self.spans:
+            records.append({
+                "type": "span",
+                "name": span.name,
+                "cat": span.cat,
+                "component": span.component,
+                "task": span.task_index,
+                "machine": span.machine,
+                "start": span.start,
+                "end": span.end,
+                "args": span.args,
+            })
+        for sample in self.samples:
+            records.append({
+                "type": "sample",
+                "name": sample.name,
+                "component": sample.component,
+                "task": sample.task_index,
+                "time": sample.time,
+                "value": sample.value,
+            })
+        return records
+
+    def write_jsonl(self, path: str) -> None:
+        with _open_for_write(path) as fh:
+            for record in self.jsonl_records():
+                fh.write(json.dumps(record) + "\n")
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The run as a Chrome Trace Event Format object.
+
+        Machines map to processes and tasks to threads; the simulated
+        clock (seconds) is scaled to the format's microseconds.
+        """
+        events: List[Dict[str, Any]] = []
+        seen_threads: Dict[Tuple[int, str], None] = {}
+        for span in self.spans:
+            pid = span.machine
+            tid = f"{span.component}[{span.task_index}]"
+            seen_threads.setdefault((pid, tid))
+            events.append({
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": max(0.0, span.duration()) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": span.args,
+            })
+        for sample in self.samples:
+            events.append({
+                "name": f"{sample.name} {sample.component}[{sample.task_index}]",
+                "ph": "C",
+                "ts": sample.time * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": {sample.name: sample.value},
+            })
+        for pid, tid in seen_threads:
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid,
+                "args": {"name": f"machine {pid}" if pid >= 0
+                         else "source host"},
+            })
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": tid},
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with _open_for_write(path) as fh:
+            json.dump(self.chrome_trace(), fh)
+
+
+class NullTracer:
+    """Disabled tracer: all recording methods are no-ops."""
+
+    enabled = False
+
+    def exec_span(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def member_span(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def epoch_arrival(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def epoch_release(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def sample(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def finalize(self, end_time: float) -> None:
+        pass
+
+    def spans_by_cat(self, cat: str) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()

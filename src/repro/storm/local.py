@@ -12,10 +12,11 @@ seed-invariant.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
+from repro.obs import ObsContext
 from repro.operators.base import Event
-from repro.storm.cluster import Cluster, round_robin_placement
+from repro.storm.cluster import Cluster
 from repro.storm.costs import ZeroCostModel
 from repro.storm.simulator import SimulationReport, Simulator
 from repro.storm.topology import Topology
@@ -23,11 +24,18 @@ from repro.traces.blocks import BlockTrace
 
 
 class LocalRunner:
-    """Run a topology to completion in-process."""
+    """Run a topology to completion in-process.
 
-    def __init__(self, topology: Topology, seed: int = 0):
+    ``obs`` (optional :class:`~repro.obs.ObsContext`) instruments the
+    run; with the zero cost model the interesting signals are the
+    marker-epoch spans and queue-depth timelines rather than CPU time.
+    """
+
+    def __init__(self, topology: Topology, seed: int = 0,
+                 obs: Optional[ObsContext] = None):
         self.topology = topology
         self.seed = seed
+        self.obs = obs
 
     def run(self) -> SimulationReport:
         cluster = Cluster(n_machines=1, cores_per_machine=4)
@@ -36,6 +44,7 @@ class LocalRunner:
             cluster,
             cost_model=ZeroCostModel(),
             seed=self.seed,
+            obs=self.obs,
         )
         return simulator.run()
 

@@ -29,7 +29,7 @@ import heapq
 from collections import deque
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -38,6 +38,7 @@ from repro.storm.cluster import Cluster, Placement, round_robin_placement
 from repro.storm.costs import CostModel, UniformCostModel
 from repro.storm.groupings import Grouping
 from repro.storm.topology import CaptureBolt, OutputCollector, Spout, Topology
+from repro.obs import ObsContext
 from repro.storm.tuples import StormTuple
 
 TaskKey = Tuple[str, int]
@@ -66,9 +67,13 @@ class SimulationReport:
     machine_cores: Dict[int, int]
 
     def throughput(self) -> float:
-        """Input data tuples per simulated second."""
+        """Input data tuples per simulated second.
+
+        An empty run (nothing injected, zero makespan) reports 0.0; a
+        run that injected data in zero simulated time reports ``inf``.
+        """
         if self.makespan <= 0:
-            return float("inf")
+            return 0.0 if self.input_data_tuples == 0 else float("inf")
         return self.input_data_tuples / self.makespan
 
     def utilization(self, machine_id: int) -> float:
@@ -93,7 +98,12 @@ class SimulationReport:
         Latency of timestamp ``t`` = time of the *last* delivery of a
         ``t``-marker to the sink (when alignment completes) minus the
         time a spout first emitted it.  The marker traverses every stage,
-        so this is the pipeline's synchronization latency."""
+        so this is the pipeline's synchronization latency.
+
+        A sink with no deliveries — or a name that is not a capture sink
+        at all — yields ``{}`` rather than raising."""
+        if sink not in self.sink_delivery_times or sink not in self.sink_tuples:
+            return {}
         last_arrival: Dict[Any, float] = {}
         for time, tup in zip(self.sink_delivery_times[sink], self.sink_tuples[sink]):
             if isinstance(tup.event, Marker):
@@ -150,6 +160,11 @@ class Simulator:
         and capture sinks offloaded.
     seed: RNG seed controlling shuffle groupings and network jitter.
     max_events: safety valve against runaway topologies.
+    obs: optional :class:`~repro.obs.ObsContext`; when enabled, the run
+        records per-task busy spans, queue-depth timelines, marker-epoch
+        alignment spans, and merge channel-skew gauges.  Instrumentation
+        is read-only — it never touches the RNG or the schedule, so an
+        instrumented run produces bit-identical results.
     """
 
     def __init__(
@@ -160,6 +175,7 @@ class Simulator:
         placement: Optional[Placement] = None,
         seed: int = 0,
         max_events: int = 50_000_000,
+        obs: Optional[ObsContext] = None,
     ):
         topology.validate()
         self.topology = topology
@@ -168,6 +184,7 @@ class Simulator:
         self.placement = placement or round_robin_placement(topology, cluster)
         self.seed = seed
         self.max_events = max_events
+        self.obs = obs
 
     # ------------------------------------------------------------------
 
@@ -201,6 +218,21 @@ class Simulator:
                     instance.bind(random.Random(rng.randrange(2**62)))
                     runtime.groupings[consumer] = instance
                 tasks[(spec.name, index)] = runtime
+
+        # Observability: precompute everything so the disabled path pays
+        # exactly one `if obs_on` check per instrumentation site.
+        obs = self.obs
+        obs_on = obs is not None and obs.enabled
+        tracer = obs.tracer if obs_on else None
+        metrics = obs.metrics if obs_on else None
+        metrics_on = obs_on and metrics.enabled
+        # Tasks whose payload exposes merge-frontend hooks (CompiledBolt,
+        # AlignedCaptureBolt) get marker-epoch alignment tracing.
+        frontend_hooks: Dict[TaskKey, Any] = {}
+        if obs_on:
+            for key, runtime in tasks.items():
+                if hasattr(runtime.payload, "frontend_merge_state"):
+                    frontend_hooks[key] = runtime.payload
 
         # Per-machine core availability heaps (source host unbounded).
         core_free: Dict[int, List[float]] = {}
@@ -272,6 +304,128 @@ class Simulator:
                 )
             return cost
 
+        def execution_cost_detailed(
+            runtime: _TaskRuntime, tup: StormTuple, remote: bool,
+            breakdown: List[Tuple[str, float, int]],
+        ) -> float:
+            """`execution_cost` with a per-member cost breakdown.
+
+            Kept separate so the uninstrumented hot path stays exactly
+            as cheap as before.  ``breakdown`` receives
+            ``(member label, cost seconds, events consumed)`` rows."""
+            cost = self.cost_model.framework_overhead
+            if remote:
+                cost += self.cost_model.remote_cpu
+            payload = runtime.payload
+            if hasattr(payload, "cost_events"):
+                glue = self.cost_model.glue_cost(runtime.component, tup.event)
+                cost += glue
+                breakdown.append(("glue", glue, 1))
+                for vertex, events in payload.cost_events(runtime.state):
+                    vertex_total = 0.0
+                    for event in events:
+                        vertex_total += self.cost_model.vertex_cost(
+                            vertex, event, runtime.index
+                        )
+                    cost += vertex_total
+                    breakdown.append((vertex, vertex_total, len(events)))
+            else:
+                cpu = self.cost_model.cpu_cost(
+                    runtime.component, tup.event, runtime.index
+                )
+                cost += cpu
+                breakdown.append((runtime.component, cpu, 1))
+            return cost
+
+        def record_execution(
+            runtime: _TaskRuntime, tup: StormTuple, start: float,
+            finish: float, cost: float,
+            breakdown: List[Tuple[str, float, int]], fanout: int,
+            hooks: Any, pre_markers: Optional[int],
+        ) -> None:
+            """Trace/measure one bolt execution (instrumented runs only)."""
+            comp, idx = runtime.component, runtime.index
+            tracer.sample("queue_depth", comp, idx, start, len(runtime.queue))
+            tracer.exec_span(
+                comp, idx, runtime.machine, start, finish,
+                {"event": type(tup.event).__name__, "fanout": fanout},
+            )
+            if metrics_on:
+                metrics.counter("tuples_processed", component=comp).inc()
+                metrics.counter(
+                    "task_busy_seconds", component=comp, task=idx
+                ).inc(cost)
+                metrics.counter("emit_fanout", component=comp).inc(fanout)
+            # Per-fused-member sub-spans tile the execution interval in
+            # chain order (glue first), so chrome://tracing shows where
+            # inside the chain the time went.
+            if len(breakdown) > 1:
+                cursor = start
+                for vertex, vertex_cost, n_events in breakdown:
+                    tracer.member_span(
+                        comp, idx, runtime.machine, vertex,
+                        cursor, cursor + vertex_cost, n_events,
+                    )
+                    cursor += vertex_cost
+                    if metrics_on and vertex != "glue":
+                        metrics.counter(
+                            "member_events", component=comp, vertex=vertex
+                        ).inc(n_events)
+                        metrics.counter(
+                            "member_cpu_seconds", component=comp, vertex=vertex
+                        ).inc(vertex_cost)
+            if hooks is None:
+                return
+            # Marker-epoch alignment: if this execution raised the merge
+            # frontend's emitted-marker count, the delivered marker was
+            # the laggard completing its epoch — close the epoch span.
+            merge_state = hooks.frontend_merge_state(runtime.state)
+            if (
+                pre_markers is not None
+                and merge_state.emitted_markers > pre_markers
+                and isinstance(tup.event, Marker)
+            ):
+                stats = hooks.frontend_stats(runtime.state)
+                wait = tracer.epoch_release(
+                    comp, idx, tup.event.timestamp, finish,
+                    {"buffered_after": stats["buffered_tuples"]},
+                )
+                if metrics_on:
+                    metrics.counter(
+                        "epochs_aligned", component=comp, task=idx
+                    ).inc(merge_state.emitted_markers - pre_markers)
+                    if wait is not None:
+                        metrics.histogram(
+                            "epoch_wait_seconds", component=comp
+                        ).observe(wait)
+            else:
+                stats = hooks.frontend_stats(runtime.state)
+            if metrics_on:
+                skew_gauge = metrics.gauge("merge_skew", component=comp, task=idx)
+                skew_gauge.set_max(
+                    stats["skew"],
+                    note=str(stats["laggard"])
+                    if stats["laggard"] is not None else None,
+                )
+                buffered = stats["buffered_tuples"]
+                buffered_gauge = metrics.gauge(
+                    "merge_buffered_tuples", component=comp, task=idx
+                )
+                new_peak = buffered > 0 and (
+                    buffered_gauge.max is None or buffered > buffered_gauge.max
+                )
+                buffered_gauge.set_max(buffered)
+                if new_peak:
+                    # Sizing walks every buffered event, so only do it
+                    # when the buffer hits a new high-water mark.
+                    metrics.gauge(
+                        "merge_buffered_bytes", component=comp, task=idx
+                    ).set_max(
+                        hooks.frontend_stats(runtime.state, with_bytes=True)[
+                            "buffered_bytes"
+                        ]
+                    )
+
         def maybe_start(runtime: _TaskRuntime, now: float) -> None:
             """Begin the task's next queued tuple if it is idle.
 
@@ -287,9 +441,19 @@ class Simulator:
             if cores is not None:
                 earliest = heapq.heappop(cores)
                 start = max(start, earliest)
+            if obs_on:
+                hooks = frontend_hooks.get((runtime.component, runtime.index))
+                pre_markers = (
+                    hooks.frontend_merge_state(runtime.state).emitted_markers
+                    if hooks is not None else None
+                )
             runtime.payload.execute(runtime.state, tup, runtime.collector)
             outputs = runtime.collector.drain()
-            cost = execution_cost(runtime, tup, was_remote)
+            if obs_on:
+                breakdown: List[Tuple[str, float, int]] = []
+                cost = execution_cost_detailed(runtime, tup, was_remote, breakdown)
+            else:
+                cost = execution_cost(runtime, tup, was_remote)
             finish = start + cost
             machine_busy[runtime.machine] = (
                 machine_busy.get(runtime.machine, 0.0) + cost
@@ -300,6 +464,11 @@ class Simulator:
             runtime.running = True
             makespan = max(makespan, finish)
             processed[runtime.component] += 1
+            if obs_on:
+                record_execution(
+                    runtime, tup, start, finish, cost, breakdown,
+                    len(outputs), hooks, pre_markers,
+                )
             route(runtime, outputs, finish)
             schedule(finish, "done", (runtime.component, runtime.index))
 
@@ -356,6 +525,15 @@ class Simulator:
                         input_data += 1
                     elif isinstance(event, Marker):
                         marker_emit_times.setdefault(event.timestamp, finish)
+                if obs_on and outputs:
+                    tracer.exec_span(
+                        runtime.component, runtime.index, runtime.machine,
+                        start, finish, {"fanout": len(outputs)},
+                    )
+                    if metrics_on:
+                        metrics.counter(
+                            "spout_emitted", component=runtime.component
+                        ).inc(len(outputs))
                 route(runtime, outputs, finish)
                 if alive:
                     schedule(finish, "spout", task_key)
@@ -368,9 +546,36 @@ class Simulator:
                         (time_now, runtime.index, tup)
                     )
                 runtime.queue.append((tup, remote))
+                if obs_on:
+                    depth = len(runtime.queue)
+                    tracer.sample(
+                        "queue_depth", runtime.component, runtime.index,
+                        time_now, depth,
+                    )
+                    if metrics_on:
+                        metrics.gauge(
+                            "queue_depth", component=runtime.component,
+                            task=runtime.index,
+                        ).set_max(depth)
+                    if (
+                        task_key in frontend_hooks
+                        and isinstance(tup.event, Marker)
+                    ):
+                        tracer.epoch_arrival(
+                            runtime.component, runtime.index, runtime.machine,
+                            tup.event.timestamp, time_now,
+                        )
             else:  # "done": the running execution finished
                 runtime.running = False
             maybe_start(runtime, time_now)
+
+        if obs_on:
+            tracer.finalize(makespan)
+            if metrics_on:
+                for machine in self.cluster.machines:
+                    metrics.gauge(
+                        "machine_busy_seconds", machine=machine.machine_id
+                    ).set(machine_busy.get(machine.machine_id, 0.0))
 
         sink_events = {
             name: [t.event for _, _, t in deliveries]

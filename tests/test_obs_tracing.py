@@ -1,0 +1,215 @@
+"""Marker-epoch tracing: span-tree well-formedness and export formats.
+
+The key structural invariants:
+
+- every epoch opened by a marker arrival is closed (aligned runs close
+  them via release; `finalize` closes stragglers flagged `unaligned`);
+- fused-member spans nest within their task's busy (exec) intervals;
+- exports are valid (JSONL passes the schema validator, the Chrome
+  trace is a loadable Trace Event Format object).
+"""
+
+import json
+
+import pytest
+
+from repro.apps.iot import SensorWorkload, iot_typed_dag
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events
+from repro.obs import ObsContext, Tracer
+from repro.obs.schema import TraceSchemaError, validate_jsonl
+from repro.obs.tracing import CAT_EPOCH, CAT_EXEC, CAT_MEMBER
+from repro.storm.local import LocalRunner
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One instrumented compiled-topology run shared by the assertions."""
+    events = SensorWorkload().events()
+    dag = iot_typed_dag(parallelism=2)
+    compiled = compile_dag(dag, {"SENSOR": source_from_events(events, 2)})
+    obs = ObsContext.collecting()
+    report = LocalRunner(compiled.topology, seed=2, obs=obs).run()
+    return obs, report
+
+
+class TestSpanTree:
+    def test_every_epoch_closed(self, traced_run):
+        obs, _ = traced_run
+        assert obs.tracer.open_epoch_count() == 0
+        epochs = obs.tracer.spans_by_cat(CAT_EPOCH)
+        assert epochs, "a marker-bearing run must produce epoch spans"
+        for span in epochs:
+            assert span.end >= span.start
+            assert "epoch" in span.args
+
+    def test_workload_epochs_all_aligned(self, traced_run):
+        """This workload drains fully, so no epoch may end unaligned."""
+        obs, _ = traced_run
+        unaligned = [
+            s for s in obs.tracer.spans_by_cat(CAT_EPOCH)
+            if s.args.get("unaligned")
+        ]
+        assert unaligned == []
+
+    def test_epoch_count_matches_marker_structure(self, traced_run):
+        """Each frontend task closes one epoch per aligned marker."""
+        obs, report = traced_run
+        epochs = obs.tracer.spans_by_cat(CAT_EPOCH)
+        per_task = {}
+        for span in epochs:
+            key = (span.component, span.task_index)
+            per_task[key] = per_task.get(key, 0) + 1
+        n_markers = len(report.marker_emit_times)
+        assert n_markers > 0
+        for key, count in per_task.items():
+            assert count == n_markers, (
+                f"task {key} closed {count} epochs, expected {n_markers}"
+            )
+
+    def test_member_spans_nest_in_exec_spans(self, traced_run):
+        obs, _ = traced_run
+        execs = {}
+        for span in obs.tracer.spans_by_cat(CAT_EXEC):
+            execs.setdefault((span.component, span.task_index), []).append(
+                (span.start, span.end)
+            )
+        members = obs.tracer.spans_by_cat(CAT_MEMBER)
+        assert members, "compiled bolts must produce member spans"
+        eps = 1e-12
+        for span in members:
+            intervals = execs[(span.component, span.task_index)]
+            assert any(
+                s - eps <= span.start and span.end <= e + eps
+                for s, e in intervals
+            ), f"member span {span} outside every exec span"
+
+    def test_spans_fit_in_makespan(self, traced_run):
+        obs, report = traced_run
+        for span in obs.tracer.spans:
+            assert span.start >= 0.0
+            assert span.end <= report.makespan + 1e-12
+
+    def test_exec_spans_of_one_task_do_not_overlap(self, traced_run):
+        """Tasks are single-threaded: busy intervals must be disjoint."""
+        obs, _ = traced_run
+        by_task = {}
+        for span in obs.tracer.spans_by_cat(CAT_EXEC):
+            by_task.setdefault((span.component, span.task_index), []).append(span)
+        for spans in by_task.values():
+            spans.sort(key=lambda s: s.start)
+            for a, b in zip(spans, spans[1:]):
+                assert a.end <= b.start + 1e-12
+
+
+class TestFinalize:
+    def test_finalize_closes_open_epochs_as_unaligned(self):
+        tracer = Tracer()
+        tracer.epoch_arrival("bolt", 0, 1, "t1", 1.0)
+        tracer.epoch_arrival("bolt", 1, 1, "t1", 2.0)
+        tracer.epoch_release("bolt", 0, "t1", 3.0)
+        tracer.finalize(10.0)
+        assert tracer.open_epoch_count() == 0
+        unaligned = [s for s in tracer.spans_by_cat(CAT_EPOCH)
+                     if s.args.get("unaligned")]
+        assert len(unaligned) == 1
+        assert unaligned[0].task_index == 1
+        assert unaligned[0].end == 10.0
+
+    def test_release_returns_wait(self):
+        tracer = Tracer()
+        tracer.epoch_arrival("bolt", 0, 1, "t1", 1.5)
+        wait = tracer.epoch_release("bolt", 0, "t1", 4.0)
+        assert wait == pytest.approx(2.5)
+
+    def test_release_without_arrival_is_zero_length(self):
+        tracer = Tracer()
+        wait = tracer.epoch_release("bolt", 0, "t1", 4.0)
+        assert wait == 0.0
+        (span,) = tracer.spans_by_cat(CAT_EPOCH)
+        assert span.start == span.end == 4.0
+
+
+class TestExports:
+    def test_jsonl_passes_schema(self, traced_run, tmp_path):
+        obs, _ = traced_run
+        path = tmp_path / "trace.jsonl"
+        obs.tracer.write_jsonl(str(path))
+        count = validate_jsonl(str(path))
+        assert count == len(obs.tracer.spans) + len(obs.tracer.samples)
+
+    def test_schema_rejects_bad_records(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "span", "name": "x"}) + "\n")
+        with pytest.raises(TraceSchemaError):
+            validate_jsonl(str(path))
+
+    def test_schema_rejects_inverted_span(self, tmp_path):
+        record = {
+            "type": "span", "name": "x", "cat": "exec", "component": "c",
+            "task": 0, "machine": 0, "start": 2.0, "end": 1.0, "args": {},
+        }
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(TraceSchemaError):
+            validate_jsonl(str(path))
+
+    def test_schema_rejects_orphan_member_span(self, tmp_path):
+        record = {
+            "type": "span", "name": "x", "cat": "member", "component": "c",
+            "task": 0, "machine": 0, "start": 0.0, "end": 1.0, "args": {},
+        }
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(TraceSchemaError):
+            validate_jsonl(str(path))
+
+    def test_chrome_trace_shape(self, traced_run, tmp_path):
+        obs, _ = traced_run
+        path = tmp_path / "trace.json"
+        obs.tracer.write_chrome_trace(str(path))
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        assert events
+        phases = {e["ph"] for e in events}
+        assert "X" in phases      # complete spans
+        assert "C" in phases      # counter timelines
+        assert "M" in phases      # process/thread names
+        for event in events:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert {"name", "cat", "ts", "pid", "tid"} <= set(event)
+
+    def test_chrome_trace_microsecond_scale(self, traced_run):
+        """Simulated seconds must be exported as microseconds."""
+        obs, report = traced_run
+        data = obs.tracer.chrome_trace()
+        max_ts = max(
+            (e["ts"] for e in data["traceEvents"] if e["ph"] == "X"),
+            default=0.0,
+        )
+        assert max_ts <= report.makespan * 1e6 + 1e-6
+
+
+class TestStallReport:
+    def test_ranks_by_stall_and_flags_skew(self, traced_run):
+        obs, report = traced_run
+        diag = obs.stall_report(report.makespan)
+        stalls = [row.stall_seconds for row in diag.rows]
+        assert stalls == sorted(stalls, reverse=True)
+        text = diag.format()
+        assert "Stall diagnostics" in text
+        assert "stall/cpu" in text
+        payload = diag.to_dict()
+        assert payload["makespan"] == report.makespan
+        assert payload["rows"]
+
+    def test_cpu_matches_exec_spans(self, traced_run):
+        obs, _ = traced_run
+        diag = obs.stall_report()
+        for row in diag.rows:
+            total = sum(
+                s.duration() for s in obs.tracer.spans_by_cat(CAT_EXEC)
+                if s.component == row.component
+            )
+            assert row.cpu_seconds == pytest.approx(total)

@@ -13,7 +13,7 @@ from repro.storm.costs import (
     ZeroCostModel,
 )
 from repro.storm.groupings import MarkerAwareGrouping, ShuffleGrouping
-from repro.storm.local import LocalRunner, events_to_trace
+from repro.storm.local import LocalRunner
 from repro.storm.simulator import Simulator
 from repro.storm.topology import (
     Bolt,
@@ -197,3 +197,47 @@ class TestLocalRunner:
         runner = LocalRunner(topology)
         traces = runner.sweep_seeds("sink", ordered=False, seeds=range(3))
         assert len(set(traces)) == 1
+
+
+class TestReportEdgeCases:
+    """Regression tests: empty or degenerate runs must degrade gracefully
+    rather than raising KeyError / ZeroDivisionError."""
+
+    def _empty_report(self):
+        topology, _ = chain_topology([])  # spout exhausted immediately
+        return Simulator(topology, Cluster(1), cost_model=ZeroCostModel()).run()
+
+    def test_empty_run_throughput_is_zero(self):
+        report = self._empty_report()
+        assert report.makespan == 0.0
+        assert report.throughput() == 0.0
+
+    def test_nonempty_zero_makespan_throughput_is_inf(self):
+        report = self._empty_report()
+        report.input_data_tuples = 5  # data in zero simulated time
+        assert report.throughput() == float("inf")
+
+    def test_empty_run_utilization_is_zero(self):
+        report = self._empty_report()
+        assert report.mean_utilization() == 0.0
+        assert report.utilization(0) == 0.0
+        assert report.utilization(99) == 0.0  # unknown machine, no KeyError
+
+    def test_marker_latencies_unknown_sink_is_empty(self):
+        report = self._empty_report()
+        assert report.marker_latencies("sink") == {}       # no deliveries
+        assert report.marker_latencies("no-such-sink") == {}
+
+    def test_marker_latencies_no_markers_is_empty(self):
+        events = [KV("a", 1), KV("a", 2)]  # data only, no markers
+        topology, _ = chain_topology(events)
+        report = Simulator(topology, Cluster(1)).run()
+        assert report.marker_latencies("sink") == {}
+
+    def test_marker_latencies_normal_run_still_works(self):
+        events = [KV("a", 1), Marker(1), KV("a", 2), Marker(2)]
+        topology, _ = chain_topology(events)
+        report = Simulator(topology, Cluster(1)).run()
+        latencies = report.marker_latencies("sink")
+        assert set(latencies) == {1, 2}
+        assert all(v >= 0 for v in latencies.values())
