@@ -1,0 +1,148 @@
+"""Monitor-overhead ablation: the online invariant monitors must be
+cheap enough to leave on.
+
+Monitored runs are bit-identical to plain runs (the parity tests pin
+that), so the cost of monitoring is pure wall-clock: the per-delivery
+edge-monitor taps plus the progress bookkeeping.  This ablation runs the
+Figure 6 Smart-Homes pipeline (the workload the CI monitor job watches)
+three ways — unmonitored, full sampling, and per-epoch digests — and
+reports the wall-clock overhead of each monitored mode against the
+plain run (min-of-N to suppress scheduler noise).
+
+Budget: <=25% at full sampling, <=5% with per-epoch digests.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps.smarthomes import (
+    SmartHomesWorkload,
+    smart_homes_dag,
+    train_predictor,
+)
+from repro.bench import MarkerTriggerCost, fused_cost_model, measure_throughput
+from repro.bench.reporting import emit_bench_json
+from repro.compiler import compile_dag
+from repro.compiler.compile import source_from_events
+from repro.obs import MonitorConfig, MonitorHub, ObsContext
+
+from conftest import SPOUTS, TASKS_PER_MACHINE
+
+MACHINES = 4
+ROUNDS = 3
+
+FULL_BUDGET = 0.25
+EPOCH_BUDGET = 0.05
+
+
+def _vertex_costs():
+    return {
+        "JFM": 30e-6,
+        "SORT1": MarkerTriggerCost(1.5e-6, 20e-6),
+        "LI": 1e-6,
+        "Map": 0.5e-6,
+        "SORT2": MarkerTriggerCost(1.5e-6, 20e-6),
+        "Avg": 1e-6,
+        "Predict": 5e-6,
+    }
+
+
+def _setup():
+    """A small-but-real Smart-Homes compile (full pipeline shape)."""
+    workload = SmartHomesWorkload(
+        n_buildings=6, units_per_building=4, plugs_per_unit=3, duration=60,
+    )
+    models = train_predictor(horizon=120, train_seconds=400, past=60)
+    events = workload.events()
+
+    def build():
+        dag = smart_homes_dag(
+            workload.make_database(), models,
+            parallelism=MACHINES * TASKS_PER_MACHINE,
+        )
+        return compile_dag(dag, {"hub": source_from_events(events, SPOUTS)})
+
+    return build
+
+
+def _time_run(build, make_obs):
+    """Min-of-ROUNDS wall-clock seconds for one simulated run."""
+    best = float("inf")
+    makespan = None
+    for _ in range(ROUNDS):
+        compiled = build()
+        obs = make_obs(compiled)
+        cost_model = fused_cost_model(_vertex_costs())
+        start = time.perf_counter()
+        report = measure_throughput(
+            compiled.topology, MACHINES, cost_model, obs=obs
+        )
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        makespan = report.makespan
+    return best, makespan
+
+
+def _monitored(sampling):
+    def make_obs(compiled):
+        hub = MonitorHub.for_compiled(
+            compiled, MonitorConfig(sampling=sampling)
+        )
+        return ObsContext.monitoring(hub)
+
+    return make_obs
+
+
+def test_monitor_overhead(benchmark):
+    build = _setup()
+    plain, plain_makespan = _time_run(build, lambda compiled: None)
+    full, full_makespan = _time_run(build, _monitored("all"))
+    epoch, epoch_makespan = _time_run(build, _monitored("epoch"))
+
+    # Parity first: monitoring must not move the simulated outcome.
+    assert full_makespan == plain_makespan
+    assert epoch_makespan == plain_makespan
+
+    full_overhead = full / plain - 1.0
+    epoch_overhead = epoch / plain - 1.0
+    print()
+    print("Monitor overhead ablation (Smart-Homes pipeline, "
+          f"{MACHINES} machines, min of {ROUNDS} runs):")
+    print(f"  plain            : {plain * 1e3:8.1f} ms")
+    print(f"  monitors (all)   : {full * 1e3:8.1f} ms "
+          f"({100 * full_overhead:+.1f}%)")
+    print(f"  monitors (epoch) : {epoch * 1e3:8.1f} ms "
+          f"({100 * epoch_overhead:+.1f}%)")
+
+    assert full_overhead <= FULL_BUDGET, (
+        f"full-sampling overhead {100 * full_overhead:.1f}% exceeds "
+        f"{100 * FULL_BUDGET:.0f}%"
+    )
+    assert epoch_overhead <= EPOCH_BUDGET, (
+        f"per-epoch-digest overhead {100 * epoch_overhead:.1f}% exceeds "
+        f"{100 * EPOCH_BUDGET:.0f}%"
+    )
+
+    benchmark.extra_info["full_overhead_percent"] = round(100 * full_overhead, 2)
+    benchmark.extra_info["epoch_overhead_percent"] = round(
+        100 * epoch_overhead, 2
+    )
+    emit_bench_json("BENCH_monitor_overhead.json", {
+        "monitor_overhead": {
+            "workload": "smarthomes-small",
+            "machines": MACHINES,
+            "rounds": ROUNDS,
+            "plain_seconds": round(plain, 6),
+            "full_sampling_seconds": round(full, 6),
+            "epoch_digest_seconds": round(epoch, 6),
+            "full_sampling_overhead_percent": round(100 * full_overhead, 2),
+            "epoch_digest_overhead_percent": round(100 * epoch_overhead, 2),
+            "budget_full_percent": 100 * FULL_BUDGET,
+            "budget_epoch_percent": 100 * EPOCH_BUDGET,
+        },
+    })
+
+    benchmark.pedantic(
+        lambda: _time_run(build, _monitored("all")), rounds=1, iterations=1
+    )

@@ -10,7 +10,15 @@ Commands regenerate the paper's evaluation artifacts without pytest:
 - ``obs {fig6|fig4|iot}`` — run one instrumented simulation and print
   the stall-diagnostics report (alignment-stall vs. CPU ranking, skewed
   channels); ``--trace-out`` writes a Chrome-trace JSON for
-  ``chrome://tracing``, ``--jsonl-out`` the raw span/sample records;
+  ``chrome://tracing``, ``--jsonl-out`` the raw span/sample records.
+  ``--monitor`` attaches online invariant monitors (data-trace type
+  conformance + watermark/backpressure progress) with ``--sampling``
+  control; ``--telemetry-out`` writes monitor telemetry JSONL,
+  ``--prom-out`` a Prometheus text snapshot, and
+  ``--fail-on-violation`` makes the exit code reflect conformance
+  (the CI monitor job);
+- ``obs watch [TARGET]`` — same run with a live dashboard line per
+  source epoch (frontier, worst watermark lag, queue peaks, violations);
 - ``motivation`` — the Section 2 naive-vs-typed soundness experiment;
 - ``show-dag {quickstart|yahoo|smarthomes|iot}`` — print a DAG (add
   ``--dot`` for Graphviz output).
@@ -26,15 +34,28 @@ import sys
 
 def _instrumented_run(
     topology, machines: int, cost_model, trace_out=None, jsonl_out=None,
-    report_json=None,
+    report_json=None, monitors=None, prom_out=None, telemetry_out=None,
+    fail_on_violation=False, watch=False,
 ) -> int:
     """One observed simulation: print the stall report, write traces."""
     from repro.bench import measure_throughput
     from repro.obs import ObsContext, stall_report
+    from repro.obs.export import render_watch_line, write_prometheus
 
-    obs = ObsContext.collecting()
+    if monitors is not None and watch:
+        def _print_row(row):
+            line = render_watch_line(row)
+            if line:
+                print(line)
+
+        monitors.on_telemetry = _print_row
+        print("live monitor telemetry (one line per source epoch):")
+    obs = ObsContext.collecting(monitors=monitors)
     report = measure_throughput(topology, machines, cost_model, obs=obs)
-    diagnostics = stall_report(obs.tracer, obs.metrics, report.makespan)
+    if watch:
+        print()
+    diagnostics = stall_report(obs.tracer, obs.metrics, report.makespan,
+                               monitors=monitors)
     print(diagnostics.format())
     print()
     print(f"throughput: {report.throughput():,.0f} tuples/s over "
@@ -54,6 +75,23 @@ def _instrumented_run(
         with open(report_json, "w", encoding="utf-8") as fh:
             json.dump(diagnostics.to_dict(), fh, indent=2)
         print(f"stall report written to {report_json}")
+    if prom_out:
+        write_prometheus(prom_out, obs.metrics, monitors)
+        print(f"Prometheus snapshot written to {prom_out}")
+    if monitors is not None:
+        if telemetry_out:
+            monitors.write_telemetry_jsonl(telemetry_out)
+            print(f"monitor telemetry written to {telemetry_out}")
+        n_violations = monitors.violation_count()
+        if n_violations:
+            print()
+            print(f"INVARIANT VIOLATIONS: {n_violations}")
+            for violation in monitors.violations[:10]:
+                print(f"  {violation}")
+            if n_violations > 10:
+                print(f"  ... and {n_violations - 10} more")
+            if fail_on_violation:
+                return 1
     return 0
 
 
@@ -86,15 +124,19 @@ def _fig4(args) -> int:
     if args.trace_out:
         query = queries[-1]
         print(f"Instrumented run (query {query}, 8 machines):")
-        topology, cost_model = _fig4_compiled(workload, events, query, 8)
+        compiled, cost_model = _fig4_compiled(workload, events, query, 8)
         return _instrumented_run(
-            topology, 8, cost_model, trace_out=args.trace_out,
+            compiled.topology, 8, cost_model, trace_out=args.trace_out,
         )
     return 0
 
 
 def _fig4_compiled(workload, events, query: str, machines: int):
-    """The generated Figure 4 topology + cost model for one query."""
+    """The generated Figure 4 compiled topology + cost model for a query.
+
+    Returns the full :class:`~repro.compiler.compile.CompiledTopology`
+    (not just ``.topology``) so callers can attach edge-typed monitors.
+    """
     sys.path.insert(0, "benchmarks")
     from repro.apps.yahoo.queries import QUERY_BUILDERS
     from repro.bench import fused_cost_model
@@ -109,7 +151,7 @@ def _fig4_compiled(workload, events, query: str, machines: int):
         workload.make_database(), parallelism=machines * TASKS_PER_MACHINE
     )
     compiled = compile_dag(dag, {"events": source_from_events(events, SPOUTS)})
-    return compiled.topology, fused_cost_model(vertex_costs_for(query))
+    return compiled, fused_cost_model(vertex_costs_for(query))
 
 
 def _smarthomes_setup(small: bool = False):
@@ -151,8 +193,9 @@ def _smarthomes_setup(small: bool = False):
         }
 
     def build(n):
+        """Compile the pipeline for ``n`` machines (a CompiledTopology)."""
         dag = smart_homes_dag(workload.make_database(), models, parallelism=2 * n)
-        return compile_dag(dag, {"hub": source_from_events(events, 2)}).topology
+        return compile_dag(dag, {"hub": source_from_events(events, 2)})
 
     return build, lambda: fused_cost_model(vertex_costs())
 
@@ -163,7 +206,8 @@ def _fig6(args) -> int:
 
     build, cost_model_for = _smarthomes_setup()
     points = sweep_machines(
-        build, lambda n: cost_model_for(), machines=range(1, 9),
+        lambda n: build(n).topology, lambda n: cost_model_for(),
+        machines=range(1, 9),
     )
     print(format_scaling_table("Figure 6 / Smart Homes:", points))
     print()
@@ -172,21 +216,25 @@ def _fig6(args) -> int:
         print()
         print("Instrumented run (8 machines):")
         return _instrumented_run(
-            build(8), 8, cost_model_for(), trace_out=args.trace_out,
+            build(8).topology, 8, cost_model_for(), trace_out=args.trace_out,
         )
     return 0
 
 
 def _obs(args) -> int:
     """Run one instrumented topology and print stall diagnostics."""
-    if args.target == "fig6":
+    watch = args.target == "watch"
+    target = (args.watch_target or "fig6") if watch else args.target
+    if watch and args.watch_target is None and args.query:
+        target = "fig4"
+    if target == "fig6":
         machines = args.machines or 4
         build, cost_model_for = _smarthomes_setup(small=True)
-        topology, cost_model = build(machines), cost_model_for()
-    elif args.target == "fig4":
+        compiled, cost_model = build(machines), cost_model_for()
+    elif target == "fig4":
         machines = args.machines or 4
         workload = _fig4_workload()
-        topology, cost_model = _fig4_compiled(
+        compiled, cost_model = _fig4_compiled(
             workload, workload.events(), args.query or "IV", machines,
         )
     else:  # iot: tiny topology, the CI smoke target
@@ -201,10 +249,36 @@ def _obs(args) -> int:
             iot_typed_dag(parallelism=2),
             {"SENSOR": source_from_events(events, 2)},
         )
-        topology, cost_model = compiled.topology, fused_cost_model({})
+        cost_model = fused_cost_model({})
+    monitors = None
+    if (args.monitor or watch or args.telemetry_out
+            or args.fail_on_violation):
+        from repro.obs import MonitorConfig, MonitorHub
+        from repro.obs.monitor import default_order_token
+
+        order_key = None
+        if args.order_key == "trailing-ts":
+            order_key = lambda kv: default_order_token(kv.value)  # noqa: E731
+        config = MonitorConfig(
+            sampling=args.sampling,
+            nth=args.sample_every,
+            order_key=order_key,
+            queue_depth_alert=args.queue_alert,
+            watermark_lag_alert=args.lag_alert,
+        )
+        monitors = MonitorHub.for_compiled(compiled, config)
+        kinds = ", ".join(
+            f"{src}->{dst}:{kind}"
+            for (src, dst), kind in sorted(compiled.edge_kinds.items())
+        )
+        print(f"monitoring {len(monitors.edges)} edges "
+              f"(sampling={config.sampling}): {kinds}")
     return _instrumented_run(
-        topology, machines, cost_model, trace_out=args.trace_out,
+        compiled.topology, machines, cost_model, trace_out=args.trace_out,
         jsonl_out=args.jsonl_out, report_json=args.report_json,
+        monitors=monitors, prom_out=args.prom_out,
+        telemetry_out=args.telemetry_out,
+        fail_on_violation=args.fail_on_violation, watch=watch,
     )
 
 
@@ -305,8 +379,12 @@ def main(argv=None) -> int:
     p_obs = sub.add_parser(
         "obs", help="instrumented run + stall diagnostics report"
     )
-    p_obs.add_argument("target", choices=["fig6", "fig4", "iot"],
-                       help="which topology to observe")
+    p_obs.add_argument("target", choices=["fig6", "fig4", "iot", "watch"],
+                       help="which topology to observe, or 'watch' for a "
+                            "live monitor view")
+    p_obs.add_argument("watch_target", nargs="?",
+                       choices=["fig6", "fig4", "iot"],
+                       help="topology for 'obs watch' (default fig6)")
     p_obs.add_argument("--machines", type=int, default=None,
                        help="cluster size (default: 4, iot: 2)")
     p_obs.add_argument("--query", choices=["I", "II", "III", "IV", "V", "VI"],
@@ -317,6 +395,34 @@ def main(argv=None) -> int:
                        help="write raw span/sample records as JSONL")
     p_obs.add_argument("--report-json", metavar="PATH",
                        help="write the stall report as JSON")
+    p_obs.add_argument("--monitor", action="store_true",
+                       help="attach online invariant monitors (data-trace "
+                            "type conformance + progress)")
+    p_obs.add_argument("--sampling", choices=["all", "nth", "epoch"],
+                       default="all",
+                       help="monitor sampling mode (default: all)")
+    p_obs.add_argument("--sample-every", type=int, default=10, metavar="N",
+                       help="check every Nth item with --sampling nth")
+    p_obs.add_argument("--order-key", choices=["none", "trailing-ts"],
+                       default="none",
+                       help="enable the per-key order check on O edges "
+                            "with the named order token (trailing-ts: "
+                            "trailing numeric tuple element, the repo's "
+                            "(value, timestamp) event-time idiom)")
+    p_obs.add_argument("--queue-alert", type=float, default=None, metavar="D",
+                       help="alert when a task queue reaches depth D")
+    p_obs.add_argument("--lag-alert", type=int, default=None, metavar="E",
+                       help="alert when a watermark lags the source "
+                            "frontier by E epochs")
+    p_obs.add_argument("--telemetry-out", metavar="PATH",
+                       help="write monitor telemetry (violations, alerts, "
+                            "watermark snapshots) as JSONL")
+    p_obs.add_argument("--prom-out", metavar="PATH",
+                       help="write a Prometheus text-format snapshot of "
+                            "metrics + monitor state")
+    p_obs.add_argument("--fail-on-violation", action="store_true",
+                       help="exit non-zero if any invariant violation was "
+                            "observed (implies --monitor)")
     p_obs.set_defaults(func=_obs)
 
     p_mot = sub.add_parser("motivation", help="Section 2 soundness experiment")

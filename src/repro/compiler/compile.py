@@ -92,6 +92,11 @@ class CompiledTopology:
     sinks: Dict[str, AlignedCaptureBolt]
     #: DAG vertex id -> topology component name.
     component_of: Dict[int, str]
+    #: (src component, dst component) -> stream kind ("U"/"O") of the
+    #: traffic on that topology edge, from the DAG type checker.  Online
+    #: monitors (:meth:`repro.obs.monitor.MonitorHub.for_compiled`) use
+    #: this to decide which invariants each edge must satisfy.
+    edge_kinds: Dict[Tuple[str, str], str] = field(default_factory=dict)
 
 
 def compile_dag(
@@ -101,7 +106,7 @@ def compile_dag(
 ) -> CompiledTopology:
     """Compile a typed transduction DAG into a topology (see module doc)."""
     options = options or CompilerOptions()
-    typecheck_dag(dag)
+    kinds_by_edge_id = typecheck_dag(dag)
 
     producers, consumers = _wiring_without_merges(dag)
 
@@ -190,12 +195,58 @@ def compile_dag(
             declarer.grouping(upstream, MarkerAwareGrouping("global"))
 
     topology = builder.build()
-    return CompiledTopology(topology, sink_bolts, component_of)
+    edge_kinds = _component_edge_kinds(dag, kinds_by_edge_id, component_of)
+    return CompiledTopology(topology, sink_bolts, component_of, edge_kinds)
 
 
 # ----------------------------------------------------------------------
 # Helpers.
 # ----------------------------------------------------------------------
+
+
+def _component_edge_kinds(
+    dag: TransductionDAG,
+    kinds_by_edge_id: Dict[int, str],
+    component_of: Dict[int, str],
+) -> Dict[Tuple[str, str], str]:
+    """Project DAG edge kinds onto topology component edges.
+
+    MERGE vertices dissolve into their consumer's frontend, so the kind
+    of traffic a producer component puts on the wire is the kind of its
+    DAG out-edge (possibly routed through merges).  Edges internal to a
+    fusion chain never hit the wire and are skipped.  If two DAG edges
+    map onto one component edge with different kinds, the weaker ``U``
+    wins — monitors must never demand more order than the type grants.
+    """
+
+    def producer_edges(edge) -> List[Tuple[int, int]]:
+        """(producer vertex id, wire edge id) pairs behind ``edge``."""
+        src = dag.vertices[edge.src]
+        if src.kind == VertexKind.MERGE:
+            pairs: List[Tuple[int, int]] = []
+            for upstream in dag.in_edges(src):
+                pairs.extend(producer_edges(upstream))
+            return pairs
+        return [(src.vertex_id, edge.edge_id)]
+
+    edge_kinds: Dict[Tuple[str, str], str] = {}
+    for vertex in dag.vertices.values():
+        if vertex.kind == VertexKind.MERGE:
+            continue
+        dst = component_of.get(vertex.vertex_id)
+        if dst is None:
+            continue
+        for edge in dag.in_edges(vertex):
+            for producer_id, edge_id in producer_edges(edge):
+                src = component_of.get(producer_id)
+                if src is None or src == dst:
+                    continue
+                kind = kinds_by_edge_id.get(edge_id, "U")
+                existing = edge_kinds.get((src, dst))
+                if existing is not None and existing != kind:
+                    kind = "U"
+                edge_kinds[(src, dst)] = kind
+    return edge_kinds
 
 
 def _wiring_without_merges(dag: TransductionDAG):

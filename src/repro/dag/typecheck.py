@@ -40,9 +40,8 @@ from repro.traces.trace_type import DataTraceType
 def _kind_of_type(trace_type: Optional[DataTraceType]) -> Optional[str]:
     if trace_type is None:
         return None
-    if not trace_type.keyed:
-        return None  # non-keyed formal types are outside the U/O fragment
-    return "O" if trace_type.ordered_per_key else "U"
+    # Non-keyed formal types are outside the U/O fragment (kind None).
+    return trace_type.stream_kind()
 
 
 def typecheck_dag(dag: TransductionDAG) -> Dict[int, str]:

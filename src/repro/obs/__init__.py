@@ -1,22 +1,27 @@
-"""Runtime observability: metrics, marker-epoch tracing, stall reports.
+"""Runtime observability: metrics, tracing, online monitors, reports.
 
 The layer is zero-dependency and opt-in.  The simulator (and everything
 built on it) takes an optional :class:`ObsContext`; when ``None`` the
 hot path pays a single ``is None`` check per instrumentation site.  An
 enabled context carries a :class:`~repro.obs.metrics.MetricsRegistry`
-(counters / gauges / histograms) and a
+(counters / gauges / histograms), a
 :class:`~repro.obs.tracing.Tracer` (marker-epoch spans, busy intervals,
-queue-depth timelines), which feed
-:func:`~repro.obs.report.stall_report` and the Chrome-trace / JSONL
-exports.
+queue-depth timelines), and optionally a
+:class:`~repro.obs.monitor.MonitorHub` (online data-trace type
+conformance and progress monitors), which feed
+:func:`~repro.obs.report.stall_report` and the Chrome-trace / JSONL /
+Prometheus exports.
 
 Typical use::
 
-    from repro.obs import ObsContext
-    obs = ObsContext.collecting()
-    report = Simulator(topology, cluster, obs=obs).run()
-    print(stall_report(obs.tracer, obs.metrics, report.makespan).format())
+    from repro.obs import ObsContext, MonitorHub
+    hub = MonitorHub.for_compiled(compiled)
+    obs = ObsContext.collecting(monitors=hub)
+    report = Simulator(compiled.topology, cluster, obs=obs).run()
+    print(stall_report(obs.tracer, obs.metrics, report.makespan,
+                       monitors=hub).format())
     obs.tracer.write_chrome_trace("trace.json")   # chrome://tracing
+    hub.write_telemetry_jsonl("telemetry.jsonl")
 """
 
 from __future__ import annotations
@@ -33,33 +38,51 @@ from repro.obs.metrics import (
     percentile,
 )
 from repro.obs.tracing import NullTracer, NULL_TRACER, Sample, Span, Tracer
+from repro.obs.monitor import (
+    EdgeMonitor,
+    InvariantViolation,
+    MonitorConfig,
+    MonitorHub,
+    ProgressAlert,
+)
 from repro.obs.report import BoltDiagnostics, StallReport, stall_report
+from repro.obs.export import prometheus_text, write_prometheus
 
 
 class ObsContext:
-    """Bundle of one run's metrics registry and tracer.
+    """Bundle of one run's metrics registry, tracer, and monitors.
 
-    ``ObsContext()`` is disabled (null registry + null tracer) — useful
-    as an explicit "off" value; :meth:`collecting` builds an enabled
-    context.  ``enabled`` is precomputed so instrumentation sites check
-    one attribute.
+    ``ObsContext()`` is disabled (null registry + null tracer, no
+    monitors) — useful as an explicit "off" value; :meth:`collecting`
+    builds an enabled context.  ``enabled`` is precomputed so
+    instrumentation sites check one attribute.
     """
 
-    __slots__ = ("metrics", "tracer", "enabled")
+    __slots__ = ("metrics", "tracer", "monitors", "enabled")
 
-    def __init__(self, metrics=None, tracer=None):
+    def __init__(self, metrics=None, tracer=None, monitors=None):
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.enabled = bool(self.metrics.enabled or self.tracer.enabled)
+        self.monitors = monitors
+        self.enabled = bool(
+            self.metrics.enabled or self.tracer.enabled
+            or (monitors is not None and monitors.enabled)
+        )
 
     @classmethod
-    def collecting(cls) -> "ObsContext":
+    def collecting(cls, monitors=None) -> "ObsContext":
         """An enabled context with fresh registry and tracer."""
-        return cls(MetricsRegistry(), Tracer())
+        return cls(MetricsRegistry(), Tracer(), monitors)
+
+    @classmethod
+    def monitoring(cls, monitors) -> "ObsContext":
+        """A context running monitors only (no metrics/tracing cost)."""
+        return cls(None, None, monitors)
 
     def stall_report(self, makespan: Optional[float] = None) -> StallReport:
         metrics = self.metrics if isinstance(self.metrics, MetricsRegistry) else None
-        return stall_report(self.tracer, metrics, makespan)
+        return stall_report(self.tracer, metrics, makespan,
+                            monitors=self.monitors)
 
 
 __all__ = [
@@ -76,6 +99,13 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "Sample",
+    "MonitorHub",
+    "MonitorConfig",
+    "EdgeMonitor",
+    "InvariantViolation",
+    "ProgressAlert",
+    "prometheus_text",
+    "write_prometheus",
     "BoltDiagnostics",
     "StallReport",
     "stall_report",

@@ -97,9 +97,13 @@ class Histogram:
             self._sorted = True
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        An empty histogram has no percentiles: returns ``float("nan")``
+        so callers cannot mistake "no observations" for a real zero.
+        """
         if not self.samples:
-            return 0.0
+            return float("nan")
         self._ensure_sorted()
         rank = max(0, min(len(self.samples) - 1,
                           int(round(p / 100.0 * (len(self.samples) - 1)))))
@@ -178,11 +182,13 @@ class MetricsRegistry:
                     "min": metric.min, "note": metric.note,
                 }
             else:
+                empty = metric.count() == 0
                 family[label_str] = {
                     "count": metric.count(), "sum": metric.sum(),
                     "mean": metric.mean(),
-                    "p50": metric.percentile(50),
-                    "p99": metric.percentile(99),
+                    # NaN is not valid JSON; render empty percentiles null.
+                    "p50": None if empty else metric.percentile(50),
+                    "p99": None if empty else metric.percentile(99),
                 }
         return out
 

@@ -1,0 +1,700 @@
+"""Online invariant monitors: live data-trace type conformance and progress.
+
+The offline story (the shuffle-refuter in
+:mod:`repro.transductions.consistency`, Theorem 4.2 for the templates)
+establishes that typed topologies *should* preserve (X, Y)-consistency;
+this module watches a *running* topology and raises structured evidence
+when the wire traffic contradicts the declared types.  Two monitor
+families hang off a :class:`MonitorHub`:
+
+**Type-conformance monitors** (:class:`EdgeMonitor`) — one per topology
+edge ``src component -> dst component``, fed every delivery on that
+edge.  Checked streamingly with O(channels x keys) state:
+
+- *per-key order* (``O(K,V)`` edges only, needs ``order_key``): within
+  one block (between markers) on one channel, same-key items must
+  arrive in nondecreasing order under the configured order key —
+  arrival order alone carries no intrinsic order to falsify, so the
+  check activates only when the config declares one (e.g.
+  :func:`default_order_token` for event-time-stamped values);
+- *marker well-formedness* (all keyed edges): per channel, marker
+  timestamps must be strictly increasing and never repeat
+  (``duplicate-marker`` / ``out-of-epoch-marker``), and the k-th marker
+  of every channel must carry the same timestamp (``epoch-mismatch`` —
+  the condition the merge frontend would otherwise hit as a hard
+  :class:`~repro.errors.SimulationError` mid-alignment);
+- *post-marker stragglers* (optional, needs ``epoch_of``): an item whose
+  semantic epoch is at or before the channel's last delivered marker
+  arrived after that marker passed — the runtime shadow of the
+  Section 2 bug where per-key order is destroyed across a block
+  boundary.
+
+Every violation becomes an :class:`InvariantViolation` carrying the
+edge, channel, epoch, offending item, and simulated time.
+
+**Progress monitors** (hub-level) — per-operator *watermarks* (the last
+marker epoch each task sealed through its merge frontend), watermark lag
+against the source frontier (markers the spouts have emitted), and
+queue-depth threshold / growth-trend detection, emitting
+:class:`ProgressAlert` events at configurable thresholds.
+
+Monitors are sampling-aware (:class:`MonitorConfig`): ``"all"`` checks
+every item, ``"nth"`` every N-th data item per channel, and ``"epoch"``
+reduces per-item work to a per-block count/digest so full-run overhead
+stays in the low percent range.  Monitoring is strictly read-only: it
+never touches the RNG, the schedule, or operator state, so a monitored
+run is bit-identical to a plain run (pinned by the parity tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.operators.base import KV, Marker
+
+EdgeKey = Tuple[str, str]
+
+# -- violation kinds ---------------------------------------------------
+
+PER_KEY_ORDER = "per-key-order"
+DUPLICATE_MARKER = "duplicate-marker"
+OUT_OF_EPOCH_MARKER = "out-of-epoch-marker"
+EPOCH_MISMATCH = "epoch-mismatch"
+POST_MARKER_STRAGGLER = "post-marker-straggler"
+
+#: Every invariant kind an EdgeMonitor can raise.
+INVARIANT_KINDS = (
+    PER_KEY_ORDER,
+    DUPLICATE_MARKER,
+    OUT_OF_EPOCH_MARKER,
+    EPOCH_MISMATCH,
+    POST_MARKER_STRAGGLER,
+)
+
+# -- alert kinds -------------------------------------------------------
+
+QUEUE_DEPTH = "queue-depth"
+QUEUE_GROWTH = "queue-growth"
+WATERMARK_LAG = "watermark-lag"
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed contradiction of an edge's data-trace type.
+
+    ``epoch`` is the marker timestamp of the block the offending item
+    arrived in (``None`` when no marker passed the channel yet);
+    ``channel`` names the upstream task (``"component[task]"``) whose
+    substream misbehaved.
+    """
+
+    invariant: str
+    edge: str
+    component: str
+    task: int
+    channel: str
+    epoch: Any
+    item: Optional[str]
+    time: float
+    detail: str
+
+    def __str__(self):
+        text = (
+            f"[{self.invariant}] edge {self.edge} -> {self.component}"
+            f"[{self.task}] channel {self.channel} epoch {self.epoch!r} "
+            f"at t={self.time:.6f}: {self.detail}"
+        )
+        if self.item is not None:
+            text += f" (item {self.item})"
+        return text
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSONL telemetry record (see :mod:`repro.obs.schema`)."""
+        return {
+            "type": "violation",
+            "invariant": self.invariant,
+            "edge": self.edge,
+            "component": self.component,
+            "task": self.task,
+            "channel": self.channel,
+            "epoch": None if self.epoch is None else str(self.epoch),
+            "item": self.item,
+            "time": self.time,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class ProgressAlert:
+    """A progress-monitor threshold crossing (not a type violation)."""
+
+    kind: str
+    component: str
+    task: int
+    time: float
+    value: float
+    threshold: float
+    detail: str = ""
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "type": "alert",
+            "kind": self.kind,
+            "component": self.component,
+            "task": self.task,
+            "time": self.time,
+            "value": self.value,
+            "threshold": self.threshold,
+            "detail": self.detail,
+        }
+
+
+def default_order_token(value: Any) -> Any:
+    """Order token for the ``(payload..., timestamp)`` value idiom.
+
+    On a FIFO channel the per-key *arrival* order is, by definition, the
+    trace's per-key order — an O-edge violation is only falsifiable
+    against an order the stream itself declares, which is why
+    :class:`MonitorConfig` requires an explicit ``order_key`` to enable
+    the per-key check.  This helper is the ready-made key for streams
+    following the repo's event-time idiom of trailing-timestamp tuples
+    (``map_stage`` / ``SensorInterpolation`` in :mod:`repro.apps.iot`):
+    it returns the trailing numeric element, or ``None`` (skip the
+    item) for any other shape.  Beware pipelines that put the timestamp
+    first — e.g. the Smart-Homes ``Predict`` stage emits
+    ``(ts, prediction)`` — where this key would compare the wrong field.
+    """
+    if isinstance(value, (tuple, list)) and value:
+        last = value[-1]
+        if isinstance(last, (int, float)) and not isinstance(last, bool):
+            return last
+    return None
+
+
+@dataclass
+class MonitorConfig:
+    """Tunables shared by every monitor attached to one hub.
+
+    ``sampling`` — ``"all"`` (check every data item), ``"nth"`` (check
+    every ``nth`` data item per channel; markers are always checked), or
+    ``"epoch"`` (no per-item checks; keep per-block counts/digests only).
+    ``order_key`` — for O edges, extracts the comparable per-key order
+    token from a :class:`KV`; items whose token is ``None`` are skipped.
+    ``None`` (the default) disables the per-key order check: on a FIFO
+    channel, arrival order *is* the trace's per-key order, so a
+    violation is only falsifiable against an order the stream declares
+    (see :func:`default_order_token` for the event-time idiom).
+    ``epoch_of`` — optional; extracts an item's *semantic* epoch from a
+    :class:`KV` to enable the post-marker-straggler check.
+    ``queue_depth_alert`` / ``queue_growth_window`` — backpressure
+    alerting: alert when a task's queue reaches the threshold, or grows
+    monotonically across the whole sample window.
+    ``watermark_lag_alert`` — alert when a task's sealed epoch falls
+    this many epochs behind the source frontier.
+    ``max_violations`` — storage cap; further violations are counted
+    but not retained (``MonitorHub.dropped_violations``).
+    """
+
+    sampling: str = "all"
+    nth: int = 10
+    order_key: Optional[Callable[[KV], Any]] = None
+    epoch_of: Optional[Callable[[KV], Any]] = None
+    queue_depth_alert: Optional[float] = None
+    queue_growth_window: int = 12
+    watermark_lag_alert: Optional[int] = None
+    max_violations: int = 1000
+
+    def __post_init__(self):
+        if self.sampling not in ("all", "nth", "epoch"):
+            raise ValueError(f"unknown sampling mode {self.sampling!r}")
+        if self.nth < 1:
+            raise ValueError("nth must be >= 1")
+
+
+class _ChannelState:
+    """Per (consumer task, upstream task) monitoring state."""
+
+    __slots__ = (
+        "marker_count",
+        "last_marker",
+        "seen_markers",
+        "key_last",
+        "items_seen",
+        "block_items",
+        "block_digest",
+    )
+
+    def __init__(self):
+        self.marker_count = 0
+        self.last_marker: Any = None
+        self.seen_markers: set = set()
+        #: key -> last sampled order token within the current block.
+        self.key_last: Dict[Any, Any] = {}
+        self.items_seen = 0
+        self.block_items = 0
+        self.block_digest = 0
+
+
+class _TaskEdgeState:
+    """Per consumer-task view of one edge: its channels + marker sequence."""
+
+    __slots__ = ("channels", "marker_seq")
+
+    def __init__(self):
+        self.channels: Dict[int, _ChannelState] = {}
+        #: k-th aligned timestamp, established by the first channel to
+        #: deliver its k-th marker; later channels must agree.
+        self.marker_seq: List[Any] = []
+
+
+class EdgeMonitor:
+    """Type-conformance monitor for one topology edge.
+
+    ``kind`` is the edge's stream kind: ``"O"`` enables the per-key
+    order check, ``"U"`` checks marker well-formedness only.  The
+    monitor is fed raw deliveries by the hub; it never buffers events.
+    """
+
+    __slots__ = ("src", "dst", "kind", "config", "_record", "_tasks",
+                 "items_observed", "markers_observed")
+
+    def __init__(self, src: str, dst: str, kind: str, config: MonitorConfig,
+                 record: Callable[[InvariantViolation], None]):
+        if kind not in ("U", "O"):
+            raise ValueError(f"edge kind must be 'U' or 'O', got {kind!r}")
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.config = config
+        self._record = record
+        self._tasks: Dict[int, _TaskEdgeState] = {}
+        self.items_observed = 0
+        self.markers_observed = 0
+
+    @property
+    def edge(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    def _violate(self, invariant: str, task: int, channel: int, epoch: Any,
+                 item: Optional[Any], time: float, detail: str) -> None:
+        self._record(InvariantViolation(
+            invariant=invariant,
+            edge=self.edge,
+            component=self.dst,
+            task=task,
+            channel=f"{self.src}[{channel}]",
+            epoch=epoch,
+            item=None if item is None else repr(item),
+            time=time,
+            detail=detail,
+        ))
+
+    def observe(self, task: int, channel: int, event: Any, time: float) -> None:
+        """One delivery on this edge: ``channel`` is the upstream task."""
+        state = self._tasks.get(task)
+        if state is None:
+            state = self._tasks[task] = _TaskEdgeState()
+        ch = state.channels.get(channel)
+        if ch is None:
+            ch = state.channels[channel] = _ChannelState()
+
+        if isinstance(event, Marker):
+            self.markers_observed += 1
+            self._observe_marker(state, ch, task, channel, event, time)
+            return
+
+        self.items_observed += 1
+        config = self.config
+        ch.block_items += 1
+        if config.sampling == "epoch":
+            # Digest mode: one hash-xor per item, no per-key state.
+            ch.block_digest ^= hash(event.key)
+            return
+        ch.items_seen += 1
+        if config.sampling == "nth" and ch.items_seen % config.nth != 0:
+            return
+        self._check_item(ch, task, channel, event, time)
+
+    # -- per-item checks -----------------------------------------------
+
+    def _check_item(self, ch: _ChannelState, task: int, channel: int,
+                    event: KV, time: float) -> None:
+        config = self.config
+        if config.epoch_of is not None and ch.last_marker is not None:
+            item_epoch = config.epoch_of(event)
+            late = False
+            try:
+                late = item_epoch <= ch.last_marker
+            except TypeError:
+                pass
+            if late:
+                self._violate(
+                    POST_MARKER_STRAGGLER, task, channel, ch.last_marker,
+                    event, time,
+                    f"item of epoch {item_epoch!r} arrived after marker "
+                    f"{ch.last_marker!r} passed this channel",
+                )
+        if self.kind != "O" or config.order_key is None:
+            return
+        token = config.order_key(event)
+        if token is None:
+            return
+        last = ch.key_last.get(event.key)
+        if last is not None:
+            out_of_order = False
+            try:
+                out_of_order = token < last
+            except TypeError:
+                pass
+            if out_of_order:
+                self._violate(
+                    PER_KEY_ORDER, task, channel, ch.last_marker, event, time,
+                    f"key {event.key!r}: order token {token!r} after "
+                    f"{last!r} within one block of an O edge",
+                )
+        ch.key_last[event.key] = token
+
+    # -- marker checks -------------------------------------------------
+
+    def _observe_marker(self, state: _TaskEdgeState, ch: _ChannelState,
+                        task: int, channel: int, event: Marker,
+                        time: float) -> None:
+        ts = event.timestamp
+        if ts in ch.seen_markers:
+            self._violate(
+                DUPLICATE_MARKER, task, channel, ts, event, time,
+                f"marker {ts!r} delivered twice on one channel",
+            )
+        elif ch.last_marker is not None:
+            regressed = False
+            try:
+                regressed = ts <= ch.last_marker
+            except TypeError:
+                pass
+            if regressed:
+                self._violate(
+                    OUT_OF_EPOCH_MARKER, task, channel, ts, event, time,
+                    f"marker {ts!r} not after previous marker "
+                    f"{ch.last_marker!r}",
+                )
+        position = ch.marker_count
+        if position < len(state.marker_seq):
+            expected = state.marker_seq[position]
+            if ts != expected:
+                self._violate(
+                    EPOCH_MISMATCH, task, channel, ts, event, time,
+                    f"channel's marker #{position} is {ts!r} but the edge "
+                    f"established {expected!r} at that position",
+                )
+        else:
+            state.marker_seq.append(ts)
+        ch.marker_count += 1
+        ch.seen_markers.add(ts)
+        ch.last_marker = ts
+        ch.key_last.clear()
+        ch.block_items = 0
+        ch.block_digest = 0
+
+    # -- introspection -------------------------------------------------
+
+    def channel_states(self) -> Dict[Tuple[int, int], _ChannelState]:
+        """``(consumer task, upstream task) -> channel state`` (tests)."""
+        return {
+            (task, channel): ch
+            for task, state in self._tasks.items()
+            for channel, ch in state.channels.items()
+        }
+
+
+class _QueueTrend:
+    """Sliding window of one task's queue-depth samples."""
+
+    __slots__ = ("window", "alerted_depth", "alerted_growth")
+
+    def __init__(self, size: int):
+        self.window: deque = deque(maxlen=max(2, size))
+        self.alerted_depth = False
+        self.alerted_growth = False
+
+
+class MonitorHub:
+    """All monitors of one run: edge monitors plus progress tracking.
+
+    Build one with :meth:`for_compiled` (auto-attaches a typed monitor
+    per compiled edge), :meth:`for_topology` (marker well-formedness on
+    every edge of an arbitrary topology), or attach edges by hand with
+    :meth:`attach_edge`.  Hand the hub to the simulator through
+    ``ObsContext(..., monitors=hub)``.
+    """
+
+    enabled = True
+
+    def __init__(self, config: Optional[MonitorConfig] = None):
+        self.config = config or MonitorConfig()
+        self.edges: Dict[EdgeKey, EdgeMonitor] = {}
+        self.violations: List[InvariantViolation] = []
+        self.violation_counts: Dict[str, int] = {}
+        self.dropped_violations = 0
+        self.alerts: List[ProgressAlert] = []
+        #: (component, task) -> timestamp of the last sealed epoch.
+        self.watermarks: Dict[Tuple[str, int], Any] = {}
+        #: marker timestamps in spout emission order (the source frontier).
+        self._frontier: List[Any] = []
+        self._frontier_index: Dict[Any, int] = {}
+        self._queues: Dict[Tuple[str, int], _QueueTrend] = {}
+        #: Running peak queue depth across the run (cheap scalar track).
+        self._queue_peak = 0.0
+        self._queue_peak_task: Optional[str] = None
+        self._lag_alerted: set = set()
+        self._telemetry: List[Dict[str, Any]] = []
+        self._seq = 0
+        self.closed = False
+        #: optional live-view callback, called with each telemetry row.
+        self.on_telemetry: Optional[Callable[[Dict[str, Any]], None]] = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def for_compiled(cls, compiled: Any,
+                     config: Optional[MonitorConfig] = None) -> "MonitorHub":
+        """A hub with one typed monitor per edge of a compiled topology.
+
+        ``compiled`` is a :class:`~repro.compiler.compile.CompiledTopology`;
+        its ``edge_kinds`` map (from the DAG type checker) supplies each
+        edge's stream kind, so O edges get the per-key order check.
+        """
+        hub = cls(config)
+        for (src, dst), kind in sorted(compiled.edge_kinds.items()):
+            hub.attach_edge(src, dst, kind=kind)
+        return hub
+
+    @classmethod
+    def for_topology(cls, topology: Any,
+                     config: Optional[MonitorConfig] = None) -> "MonitorHub":
+        """A hub monitoring marker well-formedness on every edge.
+
+        Without type information every edge is treated as ``U``; use
+        :meth:`attach_edge` to upgrade specific edges to ``O``.
+        """
+        hub = cls(config)
+        for spec in topology.components.values():
+            for upstream in spec.inputs:
+                hub.attach_edge(upstream, spec.name, kind="U")
+        return hub
+
+    def attach_edge(self, src: str, dst: str, kind: str = "U") -> EdgeMonitor:
+        monitor = EdgeMonitor(src, dst, kind, self.config, self._record)
+        self.edges[(src, dst)] = monitor
+        return monitor
+
+    # -- recording -----------------------------------------------------
+
+    def _record(self, violation: InvariantViolation) -> None:
+        self.violation_counts[violation.invariant] = (
+            self.violation_counts.get(violation.invariant, 0) + 1
+        )
+        if len(self.violations) < self.config.max_violations:
+            self.violations.append(violation)
+        else:
+            self.dropped_violations += 1
+
+    def _alert(self, alert: ProgressAlert) -> None:
+        self.alerts.append(alert)
+
+    # -- simulator taps (read-only, called on the hot path) ------------
+
+    def on_delivery(self, component: str, task: int, tup: Any,
+                    time: float, depth: Optional[float] = None) -> None:
+        """One tuple delivered to ``component[task]``.
+
+        ``depth`` is the consumer's queue depth after the delivery; when
+        supplied it feeds the peak tracker and (if configured) the
+        queue-depth/growth alerts, folding what would be a second
+        hot-path call into this one.
+        """
+        monitor = self.edges.get((tup.src_component, component))
+        if monitor is not None:
+            monitor.observe(task, tup.src_task, tup.event, time)
+        if depth is not None:
+            if depth > self._queue_peak:
+                self._queue_peak = depth
+                self._queue_peak_task = f"{component}[{task}]"
+            if self.config.queue_depth_alert is not None:
+                self.on_queue_depth(component, task, time, depth)
+
+    def on_queue_depth(self, component: str, task: int, time: float,
+                       depth: float) -> None:
+        key = (component, task)
+        if depth > self._queue_peak:
+            self._queue_peak = depth
+            self._queue_peak_task = f"{component}[{task}]"
+        threshold = self.config.queue_depth_alert
+        if threshold is None:
+            return
+        trend = self._queues.get(key)
+        if trend is None:
+            trend = self._queues[key] = _QueueTrend(self.config.queue_growth_window)
+        trend.window.append(depth)
+        if depth >= threshold:
+            if not trend.alerted_depth:
+                trend.alerted_depth = True
+                self._alert(ProgressAlert(
+                    QUEUE_DEPTH, component, task, time, depth, threshold,
+                    f"queue depth {depth:.0f} reached alert threshold",
+                ))
+        else:
+            trend.alerted_depth = False
+        window = trend.window
+        if len(window) == window.maxlen:
+            growing = all(b > a for a, b in zip(window, list(window)[1:]))
+            if growing and not trend.alerted_growth:
+                trend.alerted_growth = True
+                self._alert(ProgressAlert(
+                    QUEUE_GROWTH, component, task, time, depth,
+                    float(window.maxlen),
+                    f"queue grew monotonically across {window.maxlen} "
+                    "consecutive deliveries (backpressure building)",
+                ))
+            elif not growing:
+                trend.alerted_growth = False
+
+    def on_source_marker(self, component: str, timestamp: Any,
+                         time: float) -> None:
+        """A spout emitted (the first copy of) marker ``timestamp``."""
+        if timestamp in self._frontier_index:
+            return
+        self._frontier_index[timestamp] = len(self._frontier)
+        self._frontier.append(timestamp)
+        self._snapshot(time)
+
+    def on_epoch_sealed(self, component: str, task: int, timestamp: Any,
+                        time: float) -> None:
+        """``component[task]`` completed alignment of epoch ``timestamp``."""
+        key = (component, task)
+        self.watermarks[key] = timestamp
+        threshold = self.config.watermark_lag_alert
+        if threshold is None:
+            return
+        lag = self.watermark_lag(component, task)
+        if lag is None:
+            return
+        if lag >= threshold:
+            if key not in self._lag_alerted:
+                self._lag_alerted.add(key)
+                self._alert(ProgressAlert(
+                    WATERMARK_LAG, component, task, time, float(lag),
+                    float(threshold),
+                    f"watermark {timestamp!r} is {lag} epochs behind the "
+                    "source frontier",
+                ))
+        else:
+            self._lag_alerted.discard(key)
+
+    def close(self, time: float) -> None:
+        """End of run: take the final telemetry snapshot."""
+        if self.closed:
+            return
+        self.closed = True
+        self._snapshot(time, final=True)
+
+    # -- queries -------------------------------------------------------
+
+    def frontier_epoch(self) -> Optional[Any]:
+        """The newest marker timestamp any spout has emitted."""
+        return self._frontier[-1] if self._frontier else None
+
+    def watermark_lag(self, component: str, task: int) -> Optional[int]:
+        """Epochs between the source frontier and the task's watermark.
+
+        ``None`` when the task sealed nothing yet or its watermark is not
+        a frontier timestamp (hand-fed monitors without source taps).
+        """
+        watermark = self.watermarks.get((component, task))
+        if watermark is None or not self._frontier:
+            return None
+        index = self._frontier_index.get(watermark)
+        if index is None:
+            return None
+        return len(self._frontier) - 1 - index
+
+    def max_watermark_lag(self) -> Tuple[Optional[int], Optional[str]]:
+        """The worst watermark lag and the ``component[task]`` holding it."""
+        worst: Optional[int] = None
+        who: Optional[str] = None
+        for (component, task) in self.watermarks:
+            lag = self.watermark_lag(component, task)
+            if lag is not None and (worst is None or lag > worst):
+                worst, who = lag, f"{component}[{task}]"
+        return worst, who
+
+    def violation_count(self) -> int:
+        return sum(self.violation_counts.values())
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-clean roll-up for reports and exporters."""
+        worst_lag, worst_task = self.max_watermark_lag()
+        return {
+            "edges_monitored": len(self.edges),
+            "sampling": self.config.sampling,
+            "items_observed": sum(m.items_observed for m in self.edges.values()),
+            "markers_observed": sum(
+                m.markers_observed for m in self.edges.values()
+            ),
+            "violations_total": self.violation_count(),
+            "violations_by_kind": dict(sorted(self.violation_counts.items())),
+            "dropped_violations": self.dropped_violations,
+            "alerts_total": len(self.alerts),
+            "frontier_epochs": len(self._frontier),
+            "max_watermark_lag": worst_lag,
+            "max_watermark_lag_task": worst_task,
+        }
+
+    # -- telemetry -----------------------------------------------------
+
+    def _snapshot(self, time: float, final: bool = False) -> None:
+        worst_lag, worst_task = self.max_watermark_lag()
+        queue_max = self._queue_peak
+        queue_task = self._queue_peak_task
+        row = {
+            "type": "telemetry",
+            "seq": self._seq,
+            "time": time,
+            "final": final,
+            "frontier_index": len(self._frontier) - 1,
+            "frontier_epoch": (
+                None if not self._frontier else str(self._frontier[-1])
+            ),
+            "watermarks": {
+                f"{component}[{task}]": str(ts)
+                for (component, task), ts in sorted(self.watermarks.items())
+            },
+            "max_watermark_lag": worst_lag,
+            "max_watermark_lag_task": worst_task,
+            "max_queue_depth": queue_max,
+            "max_queue_depth_task": queue_task,
+            "violations_total": self.violation_count(),
+            "alerts_total": len(self.alerts),
+        }
+        self._seq += 1
+        self._telemetry.append(row)
+        if self.on_telemetry is not None:
+            self.on_telemetry(row)
+
+    def telemetry_records(self) -> List[Dict[str, Any]]:
+        """Telemetry snapshots plus every violation and alert, as JSONL
+        records (schema in :mod:`repro.obs.schema`)."""
+        records: List[Dict[str, Any]] = list(self._telemetry)
+        records.extend(v.to_record() for v in self.violations)
+        records.extend(a.to_record() for a in self.alerts)
+        return records
+
+    def write_telemetry_jsonl(self, path: str) -> None:
+        import json
+
+        from repro.obs.tracing import _open_for_write
+
+        with _open_for_write(path) as fh:
+            for record in self.telemetry_records():
+                fh.write(json.dumps(record) + "\n")

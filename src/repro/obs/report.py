@@ -59,6 +59,8 @@ class StallReport:
 
     rows: List[BoltDiagnostics]
     makespan: Optional[float] = None
+    #: :meth:`repro.obs.monitor.MonitorHub.summary` of the run, if any.
+    monitor_summary: Optional[Dict[str, Any]] = None
 
     def skewed(self) -> List[BoltDiagnostics]:
         return [row for row in self.rows if row.is_skewed()]
@@ -121,11 +123,29 @@ class StallReport:
                         f"  {row.component}: {row.unaligned_epochs} epochs "
                         "never completed alignment"
                     )
+        summary = self.monitor_summary
+        if summary is not None:
+            lines.append("")
+            lines.append(
+                f"Online monitors ({summary['edges_monitored']} edges, "
+                f"sampling={summary['sampling']}): "
+                f"{summary['violations_total']} violations, "
+                f"{summary['alerts_total']} alerts"
+            )
+            for kind, count in summary.get("violations_by_kind", {}).items():
+                lines.append(f"  {kind}: {count}")
+            lag = summary.get("max_watermark_lag")
+            if lag is not None:
+                lines.append(
+                    f"  max watermark lag: {lag} epochs "
+                    f"({summary.get('max_watermark_lag_task')})"
+                )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "makespan": self.makespan,
+            "monitor_summary": self.monitor_summary,
             "rows": [
                 {
                     "component": row.component,
@@ -151,8 +171,13 @@ def stall_report(
     tracer: Tracer,
     metrics: Optional[MetricsRegistry] = None,
     makespan: Optional[float] = None,
+    monitors: Any = None,
 ) -> StallReport:
-    """Aggregate a tracer (and optional registry) into a ranked report."""
+    """Aggregate a tracer (and optional registry) into a ranked report.
+
+    ``monitors`` is an optional :class:`~repro.obs.monitor.MonitorHub`;
+    its summary is attached to the report verbatim.
+    """
     rows: Dict[str, BoltDiagnostics] = {}
     tasks_seen: Dict[str, set] = {}
 
@@ -212,4 +237,5 @@ def stall_report(
         rows.values(), key=lambda r: (r.stall_seconds, r.cpu_seconds),
         reverse=True,
     )
-    return StallReport(ordered, makespan=makespan)
+    summary = monitors.summary() if monitors is not None else None
+    return StallReport(ordered, makespan=makespan, monitor_summary=summary)

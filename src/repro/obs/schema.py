@@ -1,7 +1,8 @@
-"""Schema validation for exported JSONL traces.
+"""Schema validation for exported JSONL traces and monitor telemetry.
 
-The JSONL export (:meth:`repro.obs.tracing.Tracer.write_jsonl`) emits one
-record per line.  Two record types exist:
+The JSONL exports (:meth:`repro.obs.tracing.Tracer.write_jsonl` and
+:meth:`repro.obs.monitor.MonitorHub.write_telemetry_jsonl`) emit one
+record per line.  Five record types exist:
 
 ``span``::
 
@@ -14,14 +15,37 @@ record per line.  Two record types exist:
     {"type": "sample", "name": str, "component": str, "task": int,
      "time": float, "value": number}
 
+``violation`` (an :class:`~repro.obs.monitor.InvariantViolation`)::
+
+    {"type": "violation", "invariant": str, "edge": str,
+     "component": str, "task": int, "channel": str,
+     "epoch": str|null, "item": str|null, "time": float, "detail": str}
+
+``alert`` (a :class:`~repro.obs.monitor.ProgressAlert`)::
+
+    {"type": "alert", "kind": str, "component": str, "task": int,
+     "time": float, "value": number, "threshold": number, "detail": str}
+
+``telemetry`` (a periodic :class:`~repro.obs.monitor.MonitorHub`
+snapshot)::
+
+    {"type": "telemetry", "seq": int, "time": float, "final": bool,
+     "frontier_index": int, "frontier_epoch": str|null,
+     "watermarks": object, "max_watermark_lag": int|null,
+     "max_watermark_lag_task": str|null, "max_queue_depth": number,
+     "max_queue_depth_task": str|null, "violations_total": int,
+     "alerts_total": int}
+
 Invariants checked beyond field shapes:
 
 - ``start <= end`` for every span;
 - every ``epoch`` span carries an ``epoch`` arg;
-- ``member`` spans lie within some ``exec`` span of the same task.
+- ``member`` spans lie within some ``exec`` span of the same task;
+- ``violation`` records name a known invariant kind;
+- ``telemetry`` sequence numbers are strictly increasing.
 
 Runnable: ``python -m repro.obs.schema TRACE.jsonl`` exits non-zero on
-the first invalid record (the CI smoke job uses this).
+the first invalid record (the CI smoke and monitor jobs use this).
 """
 
 from __future__ import annotations
@@ -39,7 +63,30 @@ _SAMPLE_FIELDS = {
     "name": str, "component": str, "task": int,
     "time": (int, float), "value": (int, float),
 }
+_VIOLATION_FIELDS = {
+    "invariant": str, "edge": str, "component": str, "task": int,
+    "channel": str, "epoch": (str, type(None)), "item": (str, type(None)),
+    "time": (int, float), "detail": str,
+}
+_ALERT_FIELDS = {
+    "kind": str, "component": str, "task": int, "time": (int, float),
+    "value": (int, float), "threshold": (int, float), "detail": str,
+}
+_TELEMETRY_FIELDS = {
+    "seq": int, "time": (int, float), "final": bool,
+    "frontier_index": int, "frontier_epoch": (str, type(None)),
+    "watermarks": dict, "max_watermark_lag": (int, type(None)),
+    "max_watermark_lag_task": (str, type(None)),
+    "max_queue_depth": (int, float),
+    "max_queue_depth_task": (str, type(None)),
+    "violations_total": int, "alerts_total": int,
+}
 SPAN_CATEGORIES = {"exec", "member", "epoch"}
+VIOLATION_KINDS = {
+    "per-key-order", "duplicate-marker", "out-of-epoch-marker",
+    "epoch-mismatch", "post-marker-straggler",
+}
+ALERT_KINDS = {"queue-depth", "queue-growth", "watermark-lag"}
 
 
 class TraceSchemaError(ValueError):
@@ -57,7 +104,9 @@ def _check_fields(record: Dict[str, Any], fields: Dict[str, Any],
                 f"{type(record[name]).__name__}, expected {types}"
             )
     # bool is an int subclass; reject it for numeric fields explicitly.
-    for name in ("task", "machine", "start", "end", "time", "value"):
+    for name in ("task", "machine", "start", "end", "time", "value",
+                 "threshold", "seq", "frontier_index", "max_queue_depth",
+                 "violations_total", "alerts_total"):
         if name in fields and isinstance(record.get(name), bool):
             raise TraceSchemaError(f"line {line}: field {name!r} is a bool")
 
@@ -67,6 +116,7 @@ def validate_records(records: Iterable[Tuple[int, Dict[str, Any]]]) -> int:
     execs: Dict[Tuple[str, int], List[Tuple[float, float]]] = {}
     members: List[Tuple[int, Dict[str, Any]]] = []
     count = 0
+    last_telemetry_seq = None
     for line, record in records:
         count += 1
         rtype = record.get("type")
@@ -93,6 +143,27 @@ def validate_records(records: Iterable[Tuple[int, Dict[str, Any]]]) -> int:
                 members.append((line, record))
         elif rtype == "sample":
             _check_fields(record, _SAMPLE_FIELDS, line)
+        elif rtype == "violation":
+            _check_fields(record, _VIOLATION_FIELDS, line)
+            if record["invariant"] not in VIOLATION_KINDS:
+                raise TraceSchemaError(
+                    f"line {line}: unknown invariant {record['invariant']!r}"
+                )
+        elif rtype == "alert":
+            _check_fields(record, _ALERT_FIELDS, line)
+            if record["kind"] not in ALERT_KINDS:
+                raise TraceSchemaError(
+                    f"line {line}: unknown alert kind {record['kind']!r}"
+                )
+        elif rtype == "telemetry":
+            _check_fields(record, _TELEMETRY_FIELDS, line)
+            seq = record["seq"]
+            if last_telemetry_seq is not None and seq <= last_telemetry_seq:
+                raise TraceSchemaError(
+                    f"line {line}: telemetry seq {seq} not after "
+                    f"{last_telemetry_seq}"
+                )
+            last_telemetry_seq = seq
         else:
             raise TraceSchemaError(f"line {line}: unknown record type {rtype!r}")
     eps = 1e-9

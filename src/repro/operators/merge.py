@@ -28,7 +28,8 @@ from repro.operators.base import KV, Event, Marker
 
 
 class _MergeState:
-    __slots__ = ("blocks_ahead", "pending", "marker_timestamps", "emitted_markers")
+    __slots__ = ("blocks_ahead", "pending", "marker_timestamps",
+                 "emitted_markers", "last_emitted_ts")
 
     def __init__(self, n_inputs: int):
         # How many un-emitted markers each channel has delivered.
@@ -39,6 +40,9 @@ class _MergeState:
         # Timestamps of markers delivered but not yet emitted, per channel.
         self.marker_timestamps: List[Deque[Any]] = [deque() for _ in range(n_inputs)]
         self.emitted_markers: int = 0
+        # Timestamp of the newest emitted (aligned) marker — the
+        # operator's watermark: everything at or before it is sealed.
+        self.last_emitted_ts: Any = None
 
 
 class Merge:
@@ -86,6 +90,7 @@ class Merge:
                 )
             out.append(Marker(first))
             state.emitted_markers += 1
+            state.last_emitted_ts = first
             for c in range(self.n_inputs):
                 state.blocks_ahead[c] -= 1
                 # The flushed block's items belong to the block the output

@@ -1,0 +1,86 @@
+"""Shared sample-stream generation for spot-checkers and tests.
+
+One home for the inputs that :func:`repro.operators.validate.validate_operator`,
+the :class:`~repro.transductions.consistency.ConsistencyChecker`, and the
+test suite feed to operators: a fixed default stream, seeded random
+stream generation (both :class:`~repro.operators.base.KV`/``Marker``
+event streams and :class:`~repro.traces.items.Item` sequences), and the
+block-shuffle used to produce trace-equivalent input variants.
+
+Everything is driven by an explicit :class:`random.Random` so callers —
+CI in particular — get deterministic runs from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Sequence
+
+from repro.operators.base import Event, KV, Marker
+from repro.traces.items import Item, kv_item, marker
+
+#: Default alphabets; small so counterexamples stay readable.
+DEFAULT_KEYS = ("a", "b", "c")
+DEFAULT_VALUES = tuple(range(10))
+
+
+def default_sample_events() -> List[Event]:
+    """The fixed three-block stream used when no sample is supplied."""
+    return [
+        KV("a", 3), KV("b", 1), KV("a", 2), Marker(1),
+        KV("b", 4), KV("c", 0), Marker(2),
+        KV("a", 5), Marker(3),
+    ]
+
+
+def random_sample_events(
+    rng: random.Random,
+    blocks: int = 3,
+    max_block_size: int = 6,
+    keys: Sequence[str] = DEFAULT_KEYS,
+    values: Sequence[Any] = DEFAULT_VALUES,
+) -> List[Event]:
+    """A well-formed random keyed event stream: KV blocks + markers.
+
+    Marker timestamps are ``1..blocks``; every block may be empty.
+    """
+    stream: List[Event] = []
+    for block in range(blocks):
+        for _ in range(rng.randint(0, max_block_size)):
+            stream.append(KV(rng.choice(keys), rng.choice(values)))
+        stream.append(Marker(block + 1))
+    return stream
+
+
+def random_sample_items(
+    rng: random.Random,
+    blocks: int = 3,
+    max_block_size: int = 6,
+    keys: Sequence[str] = DEFAULT_KEYS,
+    values: Sequence[Any] = DEFAULT_VALUES,
+) -> List[Item]:
+    """Like :func:`random_sample_events` but as tagged ``Item`` values,
+    for checkers working at the trace level (keyed U/O types)."""
+    items: List[Item] = []
+    for block in range(blocks):
+        for _ in range(rng.randint(0, max_block_size)):
+            items.append(kv_item(rng.choice(keys), rng.choice(values)))
+        items.append(marker(block + 1))
+    return items
+
+
+def shuffle_within_blocks(events: Sequence[Event], rng: random.Random) -> List[Event]:
+    """A trace-equivalent reordering of a U stream (permute each block)."""
+    result: List[Event] = []
+    block: List[Event] = []
+    for event in events:
+        if isinstance(event, Marker):
+            rng.shuffle(block)
+            result.extend(block)
+            result.append(event)
+            block = []
+        else:
+            block.append(event)
+    rng.shuffle(block)
+    result.extend(block)
+    return result

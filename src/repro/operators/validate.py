@@ -19,12 +19,20 @@ a project defines.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.errors import ConsistencyError
-from repro.operators.base import Event, KV, Marker, Operator
+from repro.operators.base import Event, KV, Operator
 from repro.operators.keyed_unordered import CommutativeMonoid, OpKeyedUnordered
+from repro.operators.sampling import default_sample_events, shuffle_within_blocks
 from repro.traces.blocks import BlockTrace
+
+__all__ = [
+    "check_monoid_laws",
+    "check_consistency_on",
+    "validate_operator",
+    "shuffle_within_blocks",  # re-exported from repro.operators.sampling
+]
 
 
 def _sample_aggregates(operator: OpKeyedUnordered, events: Sequence[Event]):
@@ -55,33 +63,21 @@ def check_monoid_laws(
         )
 
 
-def shuffle_within_blocks(events: Sequence[Event], rng: random.Random) -> List[Event]:
-    """A trace-equivalent reordering of a U stream (permute each block)."""
-    result: List[Event] = []
-    block: List[Event] = []
-    for event in events:
-        if isinstance(event, Marker):
-            rng.shuffle(block)
-            result.extend(block)
-            result.append(event)
-            block = []
-        else:
-            block.append(event)
-    rng.shuffle(block)
-    result.extend(block)
-    return result
-
-
 def check_consistency_on(
     operator: Operator,
     events: Sequence[Event],
     shuffles: int = 10,
     seed: int = 0,
     output_ordered: bool = False,
+    rng: Optional[random.Random] = None,
 ) -> None:
     """Definition 3.5 spot-check: equivalent (block-shuffled) inputs must
-    give trace-equivalent outputs."""
-    rng = random.Random(seed)
+    give trace-equivalent outputs.
+
+    ``rng`` overrides ``seed`` when supplied, letting callers thread one
+    deterministic generator through a whole validation session.
+    """
+    rng = rng if rng is not None else random.Random(seed)
     base = BlockTrace.from_events(output_ordered, operator.run(list(events)))
     for _ in range(shuffles):
         variant = shuffle_within_blocks(events, rng)
@@ -99,9 +95,18 @@ def validate_operator(
     shuffles: int = 10,
     seed: int = 0,
     output_ordered: bool = False,
+    rng: Optional[random.Random] = None,
 ) -> None:
-    """Run every applicable spot-check on ``operator`` (see module doc)."""
-    events = list(sample_events) if sample_events is not None else _default_events()
+    """Run every applicable spot-check on ``operator`` (see module doc).
+
+    Determinism: the shuffles are drawn from ``rng`` when supplied, else
+    from ``random.Random(seed)`` — never from the global RNG — so CI
+    failures reproduce exactly from the logged seed.
+    """
+    events = (
+        list(sample_events) if sample_events is not None
+        else default_sample_events()
+    )
     if isinstance(operator, OpKeyedUnordered):
         check_monoid_laws(operator, events)
     # Order-sensitive (O-input) operators are consistent only for
@@ -110,13 +115,5 @@ def validate_operator(
     if operator.input_kind != "O":
         check_consistency_on(
             operator, events, shuffles=shuffles, seed=seed,
-            output_ordered=output_ordered,
+            output_ordered=output_ordered, rng=rng,
         )
-
-
-def _default_events() -> List[Event]:
-    return [
-        KV("a", 3), KV("b", 1), KV("a", 2), Marker(1),
-        KV("b", 4), KV("c", 0), Marker(2),
-        KV("a", 5), Marker(3),
-    ]

@@ -41,6 +41,10 @@ from repro.storm.topology import CaptureBolt, OutputCollector, Spout, Topology
 from repro.obs import ObsContext
 from repro.storm.tuples import StormTuple
 
+#: Shared placeholder for runs that skip the per-member cost breakdown
+#: (monitors-only instrumentation); never mutated.
+_NO_BREAKDOWN: List[Tuple[str, float, int]] = []
+
 TaskKey = Tuple[str, int]
 
 
@@ -162,9 +166,12 @@ class Simulator:
     max_events: safety valve against runaway topologies.
     obs: optional :class:`~repro.obs.ObsContext`; when enabled, the run
         records per-task busy spans, queue-depth timelines, marker-epoch
-        alignment spans, and merge channel-skew gauges.  Instrumentation
-        is read-only — it never touches the RNG or the schedule, so an
-        instrumented run produces bit-identical results.
+        alignment spans, and merge channel-skew gauges, and feeds any
+        attached :class:`~repro.obs.monitor.MonitorHub` every delivery
+        (type-conformance checks), source marker (frontier), and sealed
+        epoch (watermarks).  Instrumentation is read-only — it never
+        touches the RNG or the schedule, so an instrumented run produces
+        bit-identical results.
     """
 
     def __init__(
@@ -225,7 +232,14 @@ class Simulator:
         obs_on = obs is not None and obs.enabled
         tracer = obs.tracer if obs_on else None
         metrics = obs.metrics if obs_on else None
+        tracer_on = obs_on and tracer.enabled
         metrics_on = obs_on and metrics.enabled
+        # Trace/measure instrumentation (spans, frontend stats, member
+        # breakdowns) is skipped wholesale when only monitors are on, so
+        # a monitors-only run pays just the edge/progress taps.
+        tm_on = tracer_on or metrics_on
+        monitors = obs.monitors if obs_on else None
+        monitors_on = monitors is not None and monitors.enabled
         # Tasks whose payload exposes merge-frontend hooks (CompiledBolt,
         # AlignedCaptureBolt) get marker-epoch alignment tracing.
         frontend_hooks: Dict[TaskKey, Any] = {}
@@ -345,46 +359,55 @@ class Simulator:
         ) -> None:
             """Trace/measure one bolt execution (instrumented runs only)."""
             comp, idx = runtime.component, runtime.index
-            tracer.sample("queue_depth", comp, idx, start, len(runtime.queue))
-            tracer.exec_span(
-                comp, idx, runtime.machine, start, finish,
-                {"event": type(tup.event).__name__, "fanout": fanout},
-            )
-            if metrics_on:
-                metrics.counter("tuples_processed", component=comp).inc()
-                metrics.counter(
-                    "task_busy_seconds", component=comp, task=idx
-                ).inc(cost)
-                metrics.counter("emit_fanout", component=comp).inc(fanout)
-            # Per-fused-member sub-spans tile the execution interval in
-            # chain order (glue first), so chrome://tracing shows where
-            # inside the chain the time went.
-            if len(breakdown) > 1:
-                cursor = start
-                for vertex, vertex_cost, n_events in breakdown:
-                    tracer.member_span(
-                        comp, idx, runtime.machine, vertex,
-                        cursor, cursor + vertex_cost, n_events,
-                    )
-                    cursor += vertex_cost
-                    if metrics_on and vertex != "glue":
-                        metrics.counter(
-                            "member_events", component=comp, vertex=vertex
-                        ).inc(n_events)
-                        metrics.counter(
-                            "member_cpu_seconds", component=comp, vertex=vertex
-                        ).inc(vertex_cost)
+            if tm_on:
+                tracer.sample(
+                    "queue_depth", comp, idx, start, len(runtime.queue)
+                )
+                tracer.exec_span(
+                    comp, idx, runtime.machine, start, finish,
+                    {"event": type(tup.event).__name__, "fanout": fanout},
+                )
+                if metrics_on:
+                    metrics.counter("tuples_processed", component=comp).inc()
+                    metrics.counter(
+                        "task_busy_seconds", component=comp, task=idx
+                    ).inc(cost)
+                    metrics.counter("emit_fanout", component=comp).inc(fanout)
+                # Per-fused-member sub-spans tile the execution interval in
+                # chain order (glue first), so chrome://tracing shows where
+                # inside the chain the time went.
+                if len(breakdown) > 1:
+                    cursor = start
+                    for vertex, vertex_cost, n_events in breakdown:
+                        tracer.member_span(
+                            comp, idx, runtime.machine, vertex,
+                            cursor, cursor + vertex_cost, n_events,
+                        )
+                        cursor += vertex_cost
+                        if metrics_on and vertex != "glue":
+                            metrics.counter(
+                                "member_events", component=comp, vertex=vertex
+                            ).inc(n_events)
+                            metrics.counter(
+                                "member_cpu_seconds", component=comp,
+                                vertex=vertex,
+                            ).inc(vertex_cost)
             if hooks is None:
                 return
             # Marker-epoch alignment: if this execution raised the merge
             # frontend's emitted-marker count, the delivered marker was
             # the laggard completing its epoch — close the epoch span.
             merge_state = hooks.frontend_merge_state(runtime.state)
-            if (
+            sealed = (
                 pre_markers is not None
                 and merge_state.emitted_markers > pre_markers
                 and isinstance(tup.event, Marker)
-            ):
+            )
+            if sealed and monitors_on:
+                monitors.on_epoch_sealed(comp, idx, tup.event.timestamp, finish)
+            if not tm_on:
+                return
+            if sealed:
                 stats = hooks.frontend_stats(runtime.state)
                 wait = tracer.epoch_release(
                     comp, idx, tup.event.timestamp, finish,
@@ -449,10 +472,11 @@ class Simulator:
                 )
             runtime.payload.execute(runtime.state, tup, runtime.collector)
             outputs = runtime.collector.drain()
-            if obs_on:
+            if tm_on:
                 breakdown: List[Tuple[str, float, int]] = []
                 cost = execution_cost_detailed(runtime, tup, was_remote, breakdown)
             else:
+                breakdown = _NO_BREAKDOWN
                 cost = execution_cost(runtime, tup, was_remote)
             finish = start + cost
             machine_busy[runtime.machine] = (
@@ -525,7 +549,11 @@ class Simulator:
                         input_data += 1
                     elif isinstance(event, Marker):
                         marker_emit_times.setdefault(event.timestamp, finish)
-                if obs_on and outputs:
+                        if monitors_on:
+                            monitors.on_source_marker(
+                                runtime.component, event.timestamp, finish
+                            )
+                if tm_on and outputs:
                     tracer.exec_span(
                         runtime.component, runtime.index, runtime.machine,
                         start, finish, {"fanout": len(outputs)},
@@ -548,29 +576,37 @@ class Simulator:
                 runtime.queue.append((tup, remote))
                 if obs_on:
                     depth = len(runtime.queue)
-                    tracer.sample(
-                        "queue_depth", runtime.component, runtime.index,
-                        time_now, depth,
-                    )
-                    if metrics_on:
-                        metrics.gauge(
-                            "queue_depth", component=runtime.component,
-                            task=runtime.index,
-                        ).set_max(depth)
-                    if (
-                        task_key in frontend_hooks
-                        and isinstance(tup.event, Marker)
-                    ):
-                        tracer.epoch_arrival(
-                            runtime.component, runtime.index, runtime.machine,
-                            tup.event.timestamp, time_now,
+                    if monitors_on:
+                        monitors.on_delivery(
+                            runtime.component, runtime.index, tup, time_now,
+                            depth,
                         )
+                    if tm_on:
+                        tracer.sample(
+                            "queue_depth", runtime.component, runtime.index,
+                            time_now, depth,
+                        )
+                        if metrics_on:
+                            metrics.gauge(
+                                "queue_depth", component=runtime.component,
+                                task=runtime.index,
+                            ).set_max(depth)
+                        if (
+                            task_key in frontend_hooks
+                            and isinstance(tup.event, Marker)
+                        ):
+                            tracer.epoch_arrival(
+                                runtime.component, runtime.index,
+                                runtime.machine, tup.event.timestamp, time_now,
+                            )
             else:  # "done": the running execution finished
                 runtime.running = False
             maybe_start(runtime, time_now)
 
         if obs_on:
             tracer.finalize(makespan)
+            if monitors_on:
+                monitors.close(makespan)
             if metrics_on:
                 for machine in self.cluster.machines:
                     metrics.gauge(

@@ -24,16 +24,31 @@ from repro.transductions.string_transduction import StringTransduction
 
 @dataclass
 class ConsistencyViolation:
-    """A concrete Definition 3.5 counterexample."""
+    """A concrete Definition 3.5 counterexample.
+
+    Carries the trace types and the checker seed alongside the witness
+    streams, so a violation pasted from a CI log identifies the exact
+    (X, Y)-consistency instance and reproduces without rerunning blind.
+    """
 
     input_a: List[Any]
     input_b: List[Any]
     output_a: List[Any]
     output_b: List[Any]
+    input_type: Optional[DataTraceType] = None
+    output_type: Optional[DataTraceType] = None
+    seed: Optional[int] = None
 
     def __str__(self):
+        header = "consistency violation"
+        if self.input_type is not None or self.output_type is not None:
+            header += (
+                f" of ({self.input_type!r}, {self.output_type!r})-consistency"
+            )
+        if self.seed is not None:
+            header += f" [seed={self.seed}]"
         return (
-            "consistency violation:\n"
+            f"{header}:\n"
             f"  input A : {self.input_a}\n"
             f"  input B : {self.input_b}\n"
             f"  output A: {self.output_a}\n"
@@ -62,6 +77,7 @@ class ConsistencyChecker:
     ):
         self.input_type = input_type
         self.output_type = output_type
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def check_on_input(
@@ -82,7 +98,12 @@ class ConsistencyChecker:
             variant = random_equivalent_shuffle(self.input_type, base, self._rng)
             variant_out = transduction.run(variant)
             if DataTrace(self.output_type, variant_out) != base_trace:
-                return ConsistencyViolation(base, variant, base_out, variant_out)
+                return ConsistencyViolation(
+                    base, variant, base_out, variant_out,
+                    input_type=self.input_type,
+                    output_type=self.output_type,
+                    seed=self.seed,
+                )
         return None
 
     def check(
@@ -97,6 +118,30 @@ class ConsistencyChecker:
             if violation is not None:
                 return violation
         return None
+
+    def check_generated(
+        self,
+        transduction: StringTransduction,
+        n_inputs: int = 5,
+        shuffles: int = 10,
+        blocks: int = 3,
+        max_block_size: int = 6,
+    ) -> Optional[ConsistencyViolation]:
+        """:meth:`check` over seeded random keyed sample streams.
+
+        Inputs come from the same generator the operator validator uses
+        (:mod:`repro.operators.sampling`), drawn from this checker's RNG
+        so the whole session is reproducible from its seed.
+        """
+        from repro.operators.sampling import random_sample_items
+
+        inputs = [
+            random_sample_items(
+                self._rng, blocks=blocks, max_block_size=max_block_size
+            )
+            for _ in range(n_inputs)
+        ]
+        return self.check(transduction, inputs, shuffles=shuffles)
 
 
 def check_consistency(

@@ -96,19 +96,6 @@ def example31_sequences(draw, max_len: int = 10):
     return items
 
 
-def shuffle_within_blocks(events, rng):
-    """A trace-equivalent reordering of a U stream: permute each block."""
-    from repro.operators.base import Marker
-
-    result, block = [], []
-    for event in events:
-        if isinstance(event, Marker):
-            rng.shuffle(block)
-            result.extend(block)
-            result.append(event)
-            block = []
-        else:
-            block.append(event)
-    rng.shuffle(block)
-    result.extend(block)
-    return result
+# Re-exported for the test modules; one canonical implementation lives
+# beside the other sample-stream helpers.
+from repro.operators.sampling import shuffle_within_blocks  # noqa: E402, F401

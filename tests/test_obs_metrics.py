@@ -59,6 +59,18 @@ class TestRegistry:
     def test_percentile_helper_empty(self):
         assert percentile([], 99) == 0.0
 
+    def test_empty_histogram_percentile_is_nan(self):
+        import math
+
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        assert math.isnan(hist.percentile(50))
+        assert math.isnan(hist.percentile(99))
+        # The snapshot reports missing quantiles as None, not 0.0.
+        snap = reg.snapshot()
+        assert snap["lat"]["_"]["p50"] is None
+        assert snap["lat"]["_"]["count"] == 0
+
     def test_null_registry_is_inert(self):
         reg = NullRegistry()
         assert not reg.enabled

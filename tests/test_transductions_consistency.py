@@ -89,6 +89,39 @@ class TestChecker:
         )
         assert result is None
 
+    def test_witness_reports_types_and_seed(self, example31_type):
+        checker = ConsistencyChecker(example31_type, output_type(), seed=7)
+        inputs = [measurements(5, 3, 8, ts=1)]
+        violation = checker.check(
+            wrap_outputs(FirstValueEmitter()), inputs, shuffles=25
+        )
+        assert violation is not None
+        assert violation.input_type is example31_type
+        assert violation.seed == 7
+        text = str(violation)
+        assert "-consistency" in text
+        assert repr(example31_type) in text
+        assert "[seed=7]" in text
+
+    def test_check_generated_finds_violation_from_samples(self, u_type):
+        checker = ConsistencyChecker(u_type, output_type(), seed=3)
+
+        class FirstKeyEmitter(StringTransduction):
+            """Order-dependent: emits only the first item's value."""
+
+            def initial(self):
+                return {"seen": False}
+
+            def step(self, state, item):
+                if item.is_marker() or state["seen"]:
+                    return ()
+                state["seen"] = True
+                return (Item(Tag("out"), item.value),)
+
+        violation = checker.check_generated(FirstKeyEmitter(), n_inputs=5)
+        assert violation is not None
+        assert violation.seed == 3
+
     def test_deterministic_given_seed(self, example31_type):
         checker1 = ConsistencyChecker(example31_type, output_type(), seed=9)
         checker2 = ConsistencyChecker(example31_type, output_type(), seed=9)
