@@ -26,6 +26,8 @@ The compiler fuses this into the Figure 5 deployment:
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
+from operator import itemgetter
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.apps.smarthomes.events import SmartHomesWorkload
@@ -66,15 +68,19 @@ DEFAULT_KEEP_TYPES = (
 def jfm_stage(db: Derby, keep_types=DEFAULT_KEEP_TYPES) -> TableJoin:
     """Join-filter-map: plug lookup, device-type filter, tuple reshape."""
     keep = frozenset(keep_types)
+    # Bind the table's indexed point lookup once; the join calls it per
+    # reading (the stage's hot path).
+    lookup_one = db.tables["plugs"].lookup_one
 
     def lookup(key, reading):
-        row = db.lookup("plugs", "plug_key", reading.plug_key())
+        plug_key = reading.plug_key()
+        row = lookup_one("plug_key", plug_key)
         if row is None:
             return []
         device_type = row[1]
         if device_type not in keep:
             return []
-        return [(reading.plug_key(), (reading.value, reading.timestamp, device_type))]
+        return [(plug_key, (reading.value, reading.timestamp, device_type))]
 
     return TableJoin(lookup, name="JFM")
 
@@ -94,18 +100,50 @@ class LinearInterpolationOp(OpKeyedOrdered):
         return None
 
     def on_item(self, state, key, value, emit):
+        # State is a mutable [load, ts, dtype] triple updated in place —
+        # one list allocated per key instead of one tuple per sample.
         load, ts, dtype = value
         if state is None:
             emit(key, value)
-            return (load, ts, dtype)
+            return [load, ts, dtype]
         prev_load, prev_ts, _ = state
         dt = ts - prev_ts
         if dt <= 0:
             return state  # duplicate timestamp: keep the first sample
+        diff = load - prev_load
         for i in range(1, dt + 1):
-            interpolated = prev_load + i * (load - prev_load) / dt
-            emit(key, (interpolated, prev_ts + i, dtype))
-        return (load, ts, dtype)
+            emit(key, (prev_load + i * diff / dt, prev_ts + i, dtype))
+        state[0] = load
+        state[1] = ts
+        state[2] = dtype
+        return state
+
+    def on_items(self, state, key, values, emit):
+        # Per-key block loop: same interpolation arithmetic as on_item,
+        # with the running (load, ts) kept in locals across the run.
+        i = 0
+        if state is None:
+            first = values[0]
+            emit(key, first)
+            load, ts, dtype = first
+            state = [load, ts, dtype]
+            i = 1
+        prev_load, prev_ts, prev_dtype = state
+        n = len(values)
+        while i < n:
+            load, ts, dtype = values[i]
+            i += 1
+            dt = ts - prev_ts
+            if dt <= 0:
+                continue  # duplicate timestamp: keep the first sample
+            diff = load - prev_load
+            for k in range(1, dt + 1):
+                emit(key, (prev_load + k * diff / dt, prev_ts + k, dtype))
+            prev_load, prev_ts, prev_dtype = load, ts, dtype
+        state[0] = prev_load
+        state[1] = prev_ts
+        state[2] = prev_dtype
+        return state
 
 
 class AveragePerSecondOp(OpKeyedOrdered):
@@ -120,17 +158,49 @@ class AveragePerSecondOp(OpKeyedOrdered):
     name = "Avg"
 
     def init(self):
-        return None  # or (ts, total, count)
+        return None  # or [ts, total, count]
 
     def on_item(self, state, key, value, emit):
+        # State is a mutable [ts, total, count] triple updated in place.
         load, ts = value
         if state is None:
-            return (ts, load, 1)
-        current_ts, total, count = state
+            return [ts, load, 1]
+        current_ts = state[0]
         if ts == current_ts:
-            return (current_ts, total + load, count + 1)
-        emit(key, (total / count, current_ts))
-        return (ts, load, 1)
+            state[1] += load
+            state[2] += 1
+            return state
+        emit(key, (state[1] / state[2], current_ts))
+        state[0] = ts
+        state[1] = load
+        state[2] = 1
+        return state
+
+    def on_items(self, state, key, values, emit):
+        # Per-key block loop with the (ts, total, count) accumulator in
+        # locals; the additions happen in the same order as on_item's.
+        i = 0
+        if state is None:
+            if not values:
+                return state
+            load, ts = values[0]
+            state = [ts, load, 1]
+            i = 1
+        current_ts, total, count = state
+        n = len(values)
+        while i < n:
+            load, ts = values[i]
+            i += 1
+            if ts == current_ts:
+                total += load
+                count += 1
+            else:
+                emit(key, (total / count, current_ts))
+                current_ts, total, count = ts, load, 1
+        state[0] = current_ts
+        state[1] = total
+        state[2] = count
+        return state
 
 
 class PredictOp(OpKeyedOrdered):
@@ -156,12 +226,40 @@ class PredictOp(OpKeyedOrdered):
         while window and window[0][0] < ts - self._past:
             window.popleft()
         if len(window) > self._past // 2:
-            past_sum = sum(v for t, v in window if t < ts)
+            # Per key the input timestamps strictly increase (the ``O``
+            # input comes from Avg, which emits one strictly newer second
+            # at a time), so "all entries with t < ts" is exactly the
+            # window minus the entry just appended.
+            past_sum = sum(map(_load_of, islice(window, len(window) - 1)))
             model = self._models.get(key)
             if model is not None:
                 prediction = model.predict([float(ts % 86400), avg_load, past_sum])
                 emit(key, (ts, round(prediction, 3)))
         return window
+
+    def on_items(self, state, key, values, emit):
+        # Per-key block loop: one model lookup per run, window plumbing
+        # bound to locals; identical arithmetic to on_item.
+        window = state
+        append = window.append
+        popleft = window.popleft
+        past = self._past
+        warm = past // 2
+        model = self._models.get(key)
+        for value in values:
+            avg_load, ts = value
+            append((ts, avg_load))
+            low = ts - past
+            while window[0][0] < low:
+                popleft()
+            if len(window) > warm and model is not None:
+                past_sum = sum(map(_load_of, islice(window, len(window) - 1)))
+                prediction = model.predict([float(ts % 86400), avg_load, past_sum])
+                emit(key, (ts, round(prediction, 3)))
+        return window
+
+
+_load_of = itemgetter(1)
 
 
 def map_to_device_type() -> Any:
@@ -184,7 +282,7 @@ def smart_homes_dag(
         edge_types=[U_READINGS], name="JFM",
     )
     sort1 = dag.add_op(
-        SortOp(sort_key=lambda v: v[1], name="SORT1"),
+        SortOp(sort_key=itemgetter(1), name="SORT1"),
         parallelism=parallelism, upstream=[jfm], edge_types=[U_PLUG],
     )
     li = dag.add_op(
@@ -196,7 +294,7 @@ def smart_homes_dag(
         edge_types=[O_PLUG], name="Map",
     )
     sort2 = dag.add_op(
-        SortOp(sort_key=lambda v: v[1], name="SORT2"),
+        SortOp(sort_key=itemgetter(1), name="SORT2"),
         parallelism=parallelism, upstream=[map_stage], edge_types=[U_DTYPE],
     )
     avg = dag.add_op(

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.obs import ObsContext
 from repro.operators.base import Event
+from repro.storm.batching import BatchingOptions
 from repro.storm.cluster import Cluster
 from repro.storm.costs import PerComponentCostModel
 from repro.storm.simulator import SimulationReport, Simulator
@@ -170,14 +171,18 @@ def measure_throughput(
     seed: int = 1,
     cores_per_machine: int = 2,
     obs: Optional[ObsContext] = None,
+    batching: Optional[BatchingOptions] = None,
 ) -> SimulationReport:
     """Run one simulated execution and return its report.
 
     Pass an enabled ``obs`` context to collect the run's metrics and
-    marker-epoch trace alongside the report (see :mod:`repro.obs`)."""
+    marker-epoch trace alongside the report (see :mod:`repro.obs`);
+    pass ``batching`` to run the epoch-batched engine (see
+    :mod:`repro.storm.batching`)."""
     cluster = Cluster(n_machines, cores_per_machine=cores_per_machine)
     simulator = Simulator(
-        topology, cluster, cost_model=cost_model, seed=seed, obs=obs
+        topology, cluster, cost_model=cost_model, seed=seed, obs=obs,
+        batching=batching,
     )
     return simulator.run()
 

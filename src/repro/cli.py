@@ -20,6 +20,8 @@ Commands regenerate the paper's evaluation artifacts without pytest:
 - ``obs watch [TARGET]`` — same run with a live dashboard line per
   source epoch (frontier, worst watermark lag, queue peaks, violations);
 - ``motivation`` — the Section 2 naive-vs-typed soundness experiment;
+- ``bench [NAME]`` — run a ``benchmarks/bench_*.py`` module under pytest
+  (``bench batching`` is the CI perf-smoke suite; omit NAME to list);
 - ``show-dag {quickstart|yahoo|smarthomes|iot}`` — print a DAG (add
   ``--dot`` for Graphviz output).
 """
@@ -313,6 +315,39 @@ def _motivation(args) -> int:
     return 0
 
 
+def _bench(args) -> int:
+    """Run a benchmark module from ``benchmarks/`` under pytest.
+
+    ``repro bench`` lists the available modules; ``repro bench batching``
+    runs ``benchmarks/bench_batching.py`` (the perf-smoke suite) and
+    leaves its ``BENCH_*.json`` artifacts in ``--out-dir``.
+    """
+    import pytest
+
+    bench_dir = _bench_dir()
+    available = sorted(
+        path.stem[len("bench_"):]
+        for path in bench_dir.glob("bench_*.py")
+    )
+    if not args.name or args.name not in available:
+        if args.name:
+            print(f"unknown benchmark {args.name!r}", file=sys.stderr)
+        print("available benchmarks:", file=sys.stderr)
+        for name in available:
+            print(f"  {name}", file=sys.stderr)
+        return 0 if not args.name else 2
+    os.environ["REPRO_BENCH_DIR"] = args.out_dir
+    os.makedirs(args.out_dir, exist_ok=True)
+    target = bench_dir / f"bench_{args.name}.py"
+    return pytest.main(["-q", "-s", str(target)])
+
+
+def _bench_dir():
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[2] / "benchmarks"
+
+
 def _show_dag(args) -> int:
     from repro.dag.viz import dag_to_dot, render_dag
 
@@ -428,6 +463,17 @@ def main(argv=None) -> int:
     p_mot = sub.add_parser("motivation", help="Section 2 soundness experiment")
     p_mot.add_argument("--seeds", type=int, default=10)
     p_mot.set_defaults(func=_motivation)
+
+    p_bench = sub.add_parser(
+        "bench", help="run a benchmarks/bench_*.py module under pytest"
+    )
+    p_bench.add_argument("name", nargs="?",
+                         help="benchmark name (e.g. 'batching' for "
+                              "benchmarks/bench_batching.py); omit to list")
+    p_bench.add_argument("--out-dir", default=".", metavar="DIR",
+                         help="directory for BENCH_*.json artifacts "
+                              "(default: current directory)")
+    p_bench.set_defaults(func=_bench)
 
     p_show = sub.add_parser("show-dag", help="print one of the paper's DAGs")
     p_show.add_argument("name", choices=["quickstart", "yahoo", "smarthomes", "iot"])

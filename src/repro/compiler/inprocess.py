@@ -4,22 +4,37 @@ The paper's conclusion lists "extend the compilation procedure to target
 streaming frameworks other than Storm" as future work.  This backend is
 the smallest instance of that claim: the same typed DAG, the same type
 checking, compiled not to a distributed topology but to a single-process
-*push pipeline* — an object consuming one event at a time and returning
-output events, suitable for embedding the computation in another program
-(or another engine's operator slot).
+*push pipeline* — an object consuming events and returning output
+events, suitable for embedding the computation in another program (or
+another engine's operator slot).
 
 The compilation reuses the DAG's topological structure directly: every
 vertex becomes a node holding its operator state; events are pushed
-through edges depth-first.  Because the pipeline consumes a single
-linear input per source, multi-input vertices use the same
-marker-aligned merge the distributed backend uses, so the output traces
-coincide with the topology's (tested against both the denotational
-semantics and the simulated cluster).
+through edges with an iterative worklist (no recursion, so deep chains
+and high-fan-out DAGs cannot hit the interpreter's recursion limit).
+
+Two execution granularities share that worklist:
+
+- **event-at-a-time** (:meth:`InProcessPipeline.push`) moves one event
+  per worklist entry through ``Operator.handle``;
+- **epoch-batched** (:meth:`InProcessPipeline.push_batch`, the default
+  for :meth:`InProcessPipeline.run` when compiled with ``batched=True``)
+  moves whole ``List[Event]`` blocks through ``Operator.handle_batch``
+  and ``Merge.handle_batch``, paying the per-edge plumbing once per
+  block instead of once per event.
+
+The batched path is licensed by the edge types: the type checker has
+already established what order each edge's consumers may rely on, and
+the batch kernels (see :mod:`repro.operators`) reorder only what the
+edge type declares invisible — so both granularities denote the same
+trace transduction and their canonical sink traces coincide (asserted by
+the parity suite).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from collections import deque
+from typing import Any, Deque, Dict, List, Sequence, Tuple
 
 from repro.errors import CompilationError
 from repro.dag.graph import TransductionDAG, VertexKind
@@ -31,14 +46,19 @@ from repro.operators.merge import Merge
 class InProcessPipeline:
     """A compiled single-process executor for a transduction DAG.
 
-    Feed events per source with :meth:`push`; outputs accumulate per
-    sink and are retrieved with :meth:`outputs`.  :meth:`run` is the
-    batch convenience over whole streams.
+    Feed events per source with :meth:`push` (one at a time) or
+    :meth:`push_batch` (a block at once); outputs accumulate per sink
+    and are retrieved with :meth:`outputs`.  :meth:`run` is the batch
+    convenience over whole streams — epoch-batched when the pipeline was
+    compiled with ``batched=True``, event-at-a-time otherwise.  Both
+    entry points thread the same operator states, so they can be mixed
+    freely on one pipeline instance.
     """
 
-    def __init__(self, dag: TransductionDAG):
+    def __init__(self, dag: TransductionDAG, batched: bool = False):
         typecheck_dag(dag)
         self._dag = dag
+        self._batched = batched
         self._order = dag.topological_order()
         self._op_state: Dict[int, Any] = {}
         self._merge_state: Dict[int, Any] = {}
@@ -71,11 +91,17 @@ class InProcessPipeline:
 
     def push(self, source: str, event: Event) -> None:
         """Consume one event from the named source."""
-        try:
-            edge_id = self._source_edges[source]
-        except KeyError:
-            raise CompilationError(f"unknown source {source!r}")
-        self._push_edge(edge_id, event)
+        self._push_edge(self._resolve_source(source), event)
+
+    def push_batch(self, source: str, events: Sequence[Event]) -> None:
+        """Consume a block of events from the named source at once.
+
+        The block travels the DAG as a unit: each vertex consumes the
+        whole block through its batch kernel and forwards one output
+        block per out-edge.
+        """
+        if events:
+            self._push_edge_batch(self._resolve_source(source), list(events))
 
     def outputs(self, sink: str) -> List[Event]:
         """Everything delivered to ``sink`` so far."""
@@ -84,50 +110,137 @@ class InProcessPipeline:
     def run(
         self, source_events: Dict[str, Sequence[Event]]
     ) -> Dict[str, List[Event]]:
-        """Batch evaluation: interleave sources round-robin, drain fully."""
-        cursors = {name: 0 for name in source_events}
-        remaining = sum(len(v) for v in source_events.values())
-        while remaining:
+        """Batch evaluation over whole streams, draining fully.
+
+        Batched pipelines move each source's stream as one block;
+        event-at-a-time pipelines interleave the sources round-robin,
+        dropping a source from the rotation once its stream is
+        exhausted.
+        """
+        if self._batched:
             for name, events in source_events.items():
-                if cursors[name] < len(events):
-                    self.push(name, events[cursors[name]])
-                    cursors[name] += 1
-                    remaining -= 1
+                self.push_batch(name, events)
+            return {name: self.outputs(name) for name in self._outputs}
+        cursors = [(name, iter(events)) for name, events in source_events.items()]
+        while cursors:
+            alive = []
+            for name, iterator in cursors:
+                event = next(iterator, _EXHAUSTED)
+                if event is _EXHAUSTED:
+                    continue
+                self.push(name, event)
+                alive.append((name, iterator))
+            cursors = alive
         return {name: self.outputs(name) for name in self._outputs}
 
     # ------------------------------------------------------------------
 
+    def _resolve_source(self, source: str) -> int:
+        try:
+            return self._source_edges[source]
+        except KeyError:
+            raise CompilationError(f"unknown source {source!r}")
+
     def _push_edge(self, edge_id: int, event: Event) -> None:
-        edge = self._dag.edges[edge_id]
-        vertex = self._dag.vertices[edge.dst]
-        if vertex.kind == VertexKind.SINK:
-            self._outputs[vertex.name].append(event)
-            return
-        if vertex.kind == VertexKind.MERGE:
-            outputs = vertex.payload.handle(
-                self._op_state[vertex.vertex_id], edge.dst_port, event
+        """Move one event through the DAG with an iterative worklist.
+
+        Entries are ``(edge_id, event)``; FIFO processing preserves
+        per-edge delivery order, which is the only order the operators
+        rely on.
+        """
+        edges = self._dag.edges
+        vertices = self._dag.vertices
+        work: Deque[Tuple[int, Event]] = deque()
+        work.append((edge_id, event))
+        while work:
+            edge_id, event = work.popleft()
+            edge = edges[edge_id]
+            vertex = vertices[edge.dst]
+            if vertex.kind == VertexKind.SINK:
+                self._outputs[vertex.name].append(event)
+                continue
+            if vertex.kind == VertexKind.MERGE:
+                outputs = vertex.payload.handle(
+                    self._op_state[vertex.vertex_id], edge.dst_port, event
+                )
+                (out_edge,) = self._dag.out_edges(vertex)
+                for out in outputs:
+                    work.append((out_edge.edge_id, out))
+                continue
+            # OP vertex, possibly with an implicit merge frontend.
+            merge = self._implicit_merge.get(vertex.vertex_id)
+            events: List[Event]
+            if merge is not None:
+                events = merge.handle(
+                    self._merge_state[vertex.vertex_id], edge.dst_port, event
+                )
+            else:
+                events = [event]
+            state = self._op_state[vertex.vertex_id]
+            out_edges = self._dag.out_edges(vertex)
+            handle = vertex.payload.handle
+            for incoming in events:
+                for out in handle(state, incoming):
+                    for out_edge in out_edges:
+                        work.append((out_edge.edge_id, out))
+
+    def _push_edge_batch(self, edge_id: int, events: List[Event]) -> None:
+        """Move a whole block of events through the DAG at once.
+
+        The worklist carries ``(edge_id, List[Event])`` blocks; each
+        vertex consumes its block through the batch kernels, so the
+        per-edge bookkeeping is paid once per block rather than once per
+        event.
+        """
+        edges = self._dag.edges
+        vertices = self._dag.vertices
+        work: Deque[Tuple[int, List[Event]]] = deque()
+        work.append((edge_id, events))
+        while work:
+            edge_id, block = work.popleft()
+            if not block:
+                continue
+            edge = edges[edge_id]
+            vertex = vertices[edge.dst]
+            if vertex.kind == VertexKind.SINK:
+                self._outputs[vertex.name].extend(block)
+                continue
+            if vertex.kind == VertexKind.MERGE:
+                outputs = vertex.payload.handle_batch(
+                    self._op_state[vertex.vertex_id], edge.dst_port, block
+                )
+                (out_edge,) = self._dag.out_edges(vertex)
+                work.append((out_edge.edge_id, outputs))
+                continue
+            merge = self._implicit_merge.get(vertex.vertex_id)
+            if merge is not None:
+                block = merge.handle_batch(
+                    self._merge_state[vertex.vertex_id], edge.dst_port, block
+                )
+                if not block:
+                    continue
+            outputs = vertex.payload.handle_batch(
+                self._op_state[vertex.vertex_id], block
             )
-            (out_edge,) = self._dag.out_edges(vertex)
-            for out in outputs:
-                self._push_edge(out_edge.edge_id, out)
-            return
-        # OP vertex, possibly with an implicit merge frontend.
-        merge = self._implicit_merge.get(vertex.vertex_id)
-        events: List[Event]
-        if merge is not None:
-            events = merge.handle(
-                self._merge_state[vertex.vertex_id], edge.dst_port, event
-            )
-        else:
-            events = [event]
-        state = self._op_state[vertex.vertex_id]
-        out_edges = self._dag.out_edges(vertex)
-        for incoming in events:
-            for out in vertex.payload.handle(state, incoming):
-                for out_edge in out_edges:
-                    self._push_edge(out_edge.edge_id, out)
+            for out_edge in self._dag.out_edges(vertex):
+                work.append((out_edge.edge_id, outputs))
 
 
-def compile_inprocess(dag: TransductionDAG) -> InProcessPipeline:
-    """Compile a typed DAG to the in-process backend (see module doc)."""
-    return InProcessPipeline(dag)
+class _Exhausted:
+    """Sentinel marking a drained source iterator in ``run``."""
+
+
+_EXHAUSTED = _Exhausted()
+
+
+def compile_inprocess(
+    dag: TransductionDAG, batched: bool = False
+) -> InProcessPipeline:
+    """Compile a typed DAG to the in-process backend (see module doc).
+
+    ``batched=True`` selects the epoch-batched fast path for
+    :meth:`InProcessPipeline.run` — same canonical sink traces, paid for
+    with one batch-kernel invocation per block instead of one ``handle``
+    per event.
+    """
+    return InProcessPipeline(dag, batched=batched)

@@ -98,6 +98,13 @@ class Table:
 
     def lookup_one(self, column: str, value: Any) -> Optional[Tuple[Any, ...]]:
         """First matching row or ``None``."""
+        index = self._indexes.get(column)
+        if index is not None:
+            # Indexed fast path: skip materializing the full match list
+            # (point lookups dominate the stream-table join hot loop).
+            self.lookup_count += 1
+            positions = index.get(value)
+            return self.rows[positions[0]] if positions else None
         rows = self.lookup(column, value)
         return rows[0] if rows else None
 

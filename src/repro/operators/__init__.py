@@ -24,7 +24,11 @@ the templates.
 from repro.operators.base import Operator, Emitter, KV
 from repro.operators.stateless import OpStateless, StatelessFn
 from repro.operators.keyed_ordered import OpKeyedOrdered
-from repro.operators.keyed_unordered import OpKeyedUnordered, CommutativeMonoid
+from repro.operators.keyed_unordered import (
+    OpKeyedUnordered,
+    CommutativeMonoid,
+    CombinedAgg,
+)
 from repro.operators.merge import Merge
 from repro.operators.split import RoundRobinSplit, HashSplit, UnqSplit, Splitter
 from repro.operators.sort import SortOp
@@ -49,6 +53,7 @@ __all__ = [
     "OpKeyedOrdered",
     "OpKeyedUnordered",
     "CommutativeMonoid",
+    "CombinedAgg",
     "Merge",
     "RoundRobinSplit",
     "HashSplit",

@@ -17,13 +17,17 @@ templates the programmer never emits markers; the runtime propagates them
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Union
+from typing import Any, Callable, List, NamedTuple, Optional, Sequence, Union
 
 
-@dataclass(frozen=True)
-class KV:
-    """A key-value event."""
+class KV(NamedTuple):
+    """A key-value event.
+
+    A ``NamedTuple`` rather than a (frozen) dataclass: events are
+    created once per emission in every stage of every engine, and tuple
+    construction is several times cheaper than a frozen dataclass's
+    ``object.__setattr__`` init — measurably so on the batched hot
+    paths.  Still immutable and hashable, same field names."""
 
     key: Any
     value: Any
@@ -32,8 +36,7 @@ class KV:
         return f"KV({self.key!r}, {self.value!r})"
 
 
-@dataclass(frozen=True)
-class Marker:
+class Marker(NamedTuple):
     """A synchronization-marker event with its timestamp."""
 
     timestamp: Any
@@ -105,6 +108,26 @@ class Operator:
     def handle(self, state: Any, event: Event) -> List[Event]:
         """Consume one event; return output events (markers included)."""
         raise NotImplementedError
+
+    def handle_batch(self, state: Any, events: Sequence[Event]) -> List[Event]:
+        """Consume a block of events at once; return all output events.
+
+        The batched entry point of the epoch-batched engine.  The default
+        is the serial loop, so every operator supports batching; the
+        template subclasses override it with kernels that amortize
+        per-event dispatch over whole epochs.  Any override must denote
+        the same trace transduction as the per-event path: for a ``U``
+        input the batch may be folded in any order (the type says
+        between-marker items are independent), for an ``O`` input per-key
+        order must be preserved — so canonical output traces are always
+        equal to the serial path's, which is what licenses the engine to
+        pick either.
+        """
+        handle = self.handle
+        out: List[Event] = []
+        for event in events:
+            out.extend(handle(state, event))
+        return out
 
     def run(self, events) -> List[Event]:
         """Evaluate sequentially over an event iterable (testing aid)."""

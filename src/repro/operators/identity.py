@@ -20,6 +20,9 @@ class IdentityOp(Operator):
     def handle(self, state: Any, event: Event) -> List[Event]:
         return [event]
 
+    def handle_batch(self, state: Any, events) -> List[Event]:
+        return list(events)
+
 
 def identity_op() -> IdentityOp:
     """Construct a fresh identity operator."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
-from repro.operators.base import Emitter, Event, Marker, Operator
+from repro.operators.base import KV, Emitter, Event, Marker, Operator
 
 
 @dataclass
@@ -62,6 +62,22 @@ class CommutativeMonoid:
                     if left != right:
                         return False
         return True
+
+
+@dataclass(frozen=True)
+class CombinedAgg:
+    """A pre-aggregated monoid value travelling in place of raw items.
+
+    Sender-side combiners (see :mod:`repro.storm.batching`) fold the
+    between-marker items of a key into one monoid element ``A`` before
+    the network hop; the receiving :class:`OpKeyedUnordered` then folds
+    it into the key's block aggregate with ``combine`` directly instead
+    of ``fold_in``.  Legal exactly on ``U(K, V)`` edges into operators
+    whose ``on_item`` is the default no-op, because then the only use of
+    the block's items is the commutative-monoid fold.
+    """
+
+    agg: Any
 
 
 class _Record:
@@ -156,6 +172,77 @@ class OpKeyedUnordered(Operator):
         if record is None:
             record = _Record(self.identity(), state.start_state)
             state.state_map[key] = record
-        self.on_item(record.state, key, event.value, state.emitter.emit)
-        record.agg = self.combine(record.agg, self.fold_in(key, event.value))
+        value = event.value
+        if isinstance(value, CombinedAgg):
+            record.agg = self.combine(record.agg, value.agg)
+            return []
+        self.on_item(record.state, key, value, state.emitter.emit)
+        record.agg = self.combine(record.agg, self.fold_in(key, value))
         return list(state.emitter.drain())
+
+    def handle_batch(self, state: _KeyedUnorderedState, events) -> List[Event]:
+        """Epoch kernel: fold each between-marker run key-by-key.
+
+        Items of one block are grouped per key first, so each distinct
+        key costs one ``state_map`` probe per block instead of one per
+        item, and the fold runs as a tight local loop.  Grouping is legal
+        because the ``U`` input type makes between-marker items mutually
+        independent (any fold order yields the same block aggregate —
+        the monoid is commutative).  ``on_item`` still fires once per
+        item against the same last-marker snapshot the serial path shows
+        it, so emitted output differs at most in within-block order.
+        """
+        out: List[Event] = []
+        state_map = state.state_map
+        combine, fold_in = self.combine, self.fold_in
+
+        def emit(key, value, _append=out.append, _new=tuple.__new__):
+            _append(_new(KV, (key, value)))
+
+        # Skip the per-item hook loop entirely when on_item is the
+        # template default (the common, pure-aggregation case).
+        on_item_active = type(self).on_item is not OpKeyedUnordered.on_item
+        i, n = 0, len(events)
+        while i < n:
+            event = events[i]
+            if type(event) is Marker:
+                for key, record in state_map.items():
+                    record.state = self.update_state(record.state, record.agg)
+                    record.agg = self.identity()
+                    self.on_marker(record.state, key, event, emit)
+                state.start_state = self.update_state(
+                    state.start_state, self.identity()
+                )
+                out.append(event)
+                i += 1
+                continue
+            j = i
+            while j < n and type(events[j]) is not Marker:
+                j += 1
+            groups: Dict[Any, List[Any]] = {}
+            setdefault = groups.setdefault
+            for key, value in events[i:j]:
+                setdefault(key, []).append(value)
+            i = j
+            for key, values in groups.items():
+                record = state_map.get(key)
+                if record is None:
+                    record = _Record(self.identity(), state.start_state)
+                    state_map[key] = record
+                agg = record.agg
+                if on_item_active:
+                    snapshot = record.state
+                    for value in values:
+                        if isinstance(value, CombinedAgg):
+                            agg = combine(agg, value.agg)
+                        else:
+                            self.on_item(snapshot, key, value, emit)
+                            agg = combine(agg, fold_in(key, value))
+                else:
+                    for value in values:
+                        if isinstance(value, CombinedAgg):
+                            agg = combine(agg, value.agg)
+                        else:
+                            agg = combine(agg, fold_in(key, value))
+                record.agg = agg
+        return out

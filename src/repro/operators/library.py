@@ -26,7 +26,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
 
-from repro.operators.base import Marker
+from repro.operators.base import KV, Event, Marker
 from repro.operators.keyed_ordered import OpKeyedOrdered
 from repro.operators.keyed_unordered import OpKeyedUnordered
 from repro.operators.stateless import OpStateless, StatelessFn
@@ -37,14 +37,51 @@ from repro.operators.stateless import OpStateless, StatelessFn
 # ----------------------------------------------------------------------
 
 
+class MapPairsFn(StatelessFn):
+    """A :class:`StatelessFn` for exactly-one-output-pair functions.
+
+    ``pair_fn(key, value)`` returns a single ``(key', value')`` pair.
+    Semantically identical to ``StatelessFn(lambda k, v: [pair_fn(k, v)])``
+    but the batch kernel maps the block with one call per event — no
+    wrapper lambda, no one-element list per item.
+    """
+
+    def __init__(self, pair_fn: Callable[[Any, Any], Tuple[Any, Any]], name: str = ""):
+        super().__init__(lambda k, v: [pair_fn(k, v)], name=name)
+        self._pair_fn = pair_fn
+
+    def handle_batch(self, state, events) -> List[Event]:
+        cls = type(self)
+        if (
+            cls.on_marker is not OpStateless.on_marker
+            or cls.on_item is not StatelessFn.on_item
+        ):
+            return super().handle_batch(state, events)
+        fn = self._pair_fn
+        out: List[Event] = []
+        tuple_new = tuple.__new__
+        i, n = 0, len(events)
+        while i < n:
+            if type(events[i]) is Marker:
+                out.append(events[i])
+                i += 1
+                continue
+            j = i
+            while j < n and type(events[j]) is not Marker:
+                j += 1
+            out.extend([tuple_new(KV, fn(k, v)) for k, v in events[i:j]])
+            i = j
+        return out
+
+
 def map_values(fn: Callable[[Any], Any], name: str = "map") -> OpStateless:
     """Apply ``fn`` to every value, keeping keys."""
-    return StatelessFn(lambda k, v: [(k, fn(v))], name=name)
+    return MapPairsFn(lambda k, v: (k, fn(v)), name=name)
 
 
 def map_pairs(fn: Callable[[Any, Any], Tuple[Any, Any]], name: str = "map") -> OpStateless:
     """Apply ``fn(key, value) -> (key', value')`` to every pair."""
-    return StatelessFn(lambda k, v: [fn(k, v)], name=name)
+    return MapPairsFn(fn, name=name)
 
 
 def filter_items(predicate: Callable[[Any, Any], bool], name: str = "filter") -> OpStateless:
@@ -54,7 +91,7 @@ def filter_items(predicate: Callable[[Any, Any], bool], name: str = "filter") ->
 
 def rekey(key_fn: Callable[[Any, Any], Any], name: str = "rekey") -> OpStateless:
     """Replace each pair's key with ``key_fn(key, value)``."""
-    return StatelessFn(lambda k, v: [(key_fn(k, v), v)], name=name)
+    return MapPairsFn(lambda k, v: (key_fn(k, v), v), name=name)
 
 
 def flat_map(fn: Callable[[Any, Any], Iterable[Tuple[Any, Any]]], name: str = "flatMap") -> OpStateless:
@@ -81,6 +118,34 @@ class TableJoin(OpStateless):
     def on_item(self, key, value, emit):
         for out_key, out_value in self._lookup(key, value):
             emit(out_key, out_value)
+
+    def handle_batch(self, state, events) -> List[Event]:
+        # Batch kernel: call the lookup directly per event and append
+        # its pairs, skipping the on_item/emit dispatch layer.  Falls
+        # back to the generic kernel if a subclass customizes hooks.
+        cls = type(self)
+        if (
+            cls.on_marker is not OpStateless.on_marker
+            or cls.on_item is not TableJoin.on_item
+        ):
+            return super().handle_batch(state, events)
+        lookup = self._lookup
+        out: List[Event] = []
+        tuple_new = tuple.__new__
+        i, n = 0, len(events)
+        while i < n:
+            if type(events[i]) is Marker:
+                out.append(events[i])
+                i += 1
+                continue
+            j = i
+            while j < n and type(events[j]) is not Marker:
+                j += 1
+            out.extend(
+                [tuple_new(KV, pair) for k, v in events[i:j] for pair in lookup(k, v)]
+            )
+            i = j
+        return out
 
 
 # ----------------------------------------------------------------------

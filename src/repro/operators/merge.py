@@ -78,6 +78,42 @@ class Merge:
             state.pending[channel][-1].append(event)
         return out
 
+    def handle_batch(
+        self, state: _MergeState, channel: int, events: List[Event]
+    ) -> List[Event]:
+        """Consume a block of events from ``channel`` at once.
+
+        Runs of non-marker events either pass straight through (channel
+        inside the current output block) or append to the channel's open
+        buffered block in one ``extend``; marker alignment is identical
+        to the per-event path, so the emitted trace is the same blockwise
+        union whichever entry point delivered the events.
+        """
+        if not 0 <= channel < self.n_inputs:
+            raise SimulationError(f"merge channel {channel} out of range")
+        out: List[Event] = []
+        blocks_ahead = state.blocks_ahead
+        i, n = 0, len(events)
+        while i < n:
+            event = events[i]
+            if isinstance(event, Marker):
+                blocks_ahead[channel] += 1
+                state.marker_timestamps[channel].append(event.timestamp)
+                state.pending[channel].append([])
+                self._drain_ready(state, out)
+                i += 1
+                continue
+            j = i
+            while j < n and not isinstance(events[j], Marker):
+                j += 1
+            run = events[i:j]
+            if blocks_ahead[channel] == 0:
+                out.extend(run)
+            else:
+                state.pending[channel][-1].extend(run)
+            i = j
+        return out
+
     def _drain_ready(self, state: _MergeState, out: List[Event]) -> None:
         """Emit markers (and flush buffered blocks) while every channel is
         at least one marker ahead of the output."""

@@ -16,6 +16,7 @@ the stable sort on the full sort key).
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.operators.base import Event, KV, Marker, Operator
@@ -49,15 +50,90 @@ class SortOp(Operator):
     def handle(self, state: Dict[Any, List[Any]], event: Event) -> List[Event]:
         if isinstance(event, Marker):
             out: List[Event] = []
-            for key in sorted(state, key=repr):
-                values = state[key]
-                values.sort(key=lambda v: (self._cmp(v)))
-                out.extend(KV(key, value) for value in values)
-            state.clear()
+            self._flush(state, out)
             out.append(event)
             return out
-        state.setdefault(event.key, []).append(event.value)
+        state.setdefault(event.key, []).append(event)
         return []
 
+    def handle_batch(self, state: Dict[Any, List[Any]], events) -> List[Event]:
+        """Epoch kernel: bulk-append each between-marker run per key.
+
+        Buffering is insertion-order independent (the flush sorts), so
+        grouping a whole block costs one dict probe per distinct key;
+        the marker flush is byte-identical to the serial path's.
+        """
+        out: List[Event] = []
+        setdefault = state.setdefault
+        i, n = 0, len(events)
+        while i < n:
+            event = events[i]
+            if type(event) is Marker:
+                self._flush(state, out)
+                out.append(event)
+                i += 1
+                continue
+            j = i
+            while j < n and type(events[j]) is not Marker:
+                j += 1
+            for ev in events[i:j]:
+                setdefault(ev[0], []).append(ev)
+            i = j
+        return out
+
+    def _flush(self, state: Dict[Any, List[Any]], out: List[Event]) -> None:
+        """Emit every key's buffered block in canonical sorted order.
+
+        The buffers hold the original (immutable) ``KV`` events, which
+        are re-emitted as-is — ``SORT`` preserves every pair, so no new
+        event objects are needed.  Sorting is two-phase: a stable sort
+        on the declared sort key of each event's value, then a ``repr``
+        tiebreak applied only to runs of equal sort keys.  The result is
+        exactly a sort by ``(sort_key(v), repr(v))``, but the
+        (expensive) ``repr`` is computed only for actual ties instead of
+        for every value.
+        """
+        sort_key = self.sort_key
+        for key in sorted(state, key=repr):
+            buffered = state[key]
+            if len(buffered) > 1:
+                decorated = [(sort_key(ev[1]), ev) for ev in buffered]
+                decorated.sort(key=_primary)
+                buffered = _resolve_ties(decorated)
+            out.extend(buffered)
+        state.clear()
+
     def _cmp(self, value: Any):
+        """The canonical comparison key (kept for reference/tests; the
+        flush computes the same order lazily via :func:`_resolve_ties`)."""
         return (self.sort_key(value), repr(value))
+
+
+#: Sort key selecting the decorated pair's sort-key slot (C-level;
+#: ``list.sort`` calls it once per element).
+_primary = itemgetter(0)
+
+
+def _value_repr(event) -> str:
+    """Tiebreak key: ``repr`` of the event's value slot."""
+    return repr(event[1])
+
+
+def _resolve_ties(decorated: List[Any]) -> List[Any]:
+    """Undecorate a ``(sort_key, event)`` list sorted by sort key,
+    canonicalizing runs of equal sort keys by ``repr`` of the value."""
+    result: List[Any] = []
+    i, n = 0, len(decorated)
+    while i < n:
+        primary = decorated[i][0]
+        j = i + 1
+        while j < n and decorated[j][0] == primary:
+            j += 1
+        if j - i == 1:
+            result.append(decorated[i][1])
+        else:
+            run = [event for _, event in decorated[i:j]]
+            run.sort(key=_value_repr)
+            result.extend(run)
+        i = j
+    return result

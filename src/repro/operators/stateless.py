@@ -48,6 +48,25 @@ class OpStateless(Operator):
         self.on_item(event.key, event.value, state.emit)
         return list(state.drain())
 
+    def handle_batch(self, state: Emitter, events) -> List[Event]:
+        # Batch kernel: map the whole block in one tight loop, emitting
+        # straight into the output list (no per-event drain/alloc).  The
+        # output sequence is identical to the serial path's, so this is
+        # safe for any input kind.
+        out: List[Event] = []
+
+        def emit(key, value, _append=out.append, _new=tuple.__new__):
+            _append(_new(KV, (key, value)))
+
+        on_item = self.on_item
+        for event in events:
+            if isinstance(event, Marker):
+                self.on_marker(event, emit)
+                out.append(event)
+            else:
+                on_item(event.key, event.value, emit)
+        return out
+
 
 class StatelessFn(OpStateless):
     """Adapter: build an ``OpStateless`` from a plain function.
@@ -68,3 +87,30 @@ class StatelessFn(OpStateless):
             return
         for out_key, out_value in result:
             emit(out_key, out_value)
+
+    def handle_batch(self, state: Emitter, events) -> List[Event]:
+        # The adapter's shape is fully known (a pure pair-list function,
+        # no marker hook), so the batch kernel can call the function
+        # directly and skip the on_item/emit dispatch per event.  A
+        # subclass that overrides on_marker or on_item falls back to the
+        # generic OpStateless kernel.
+        cls = type(self)
+        if (
+            cls.on_marker is not OpStateless.on_marker
+            or cls.on_item is not StatelessFn.on_item
+        ):
+            return super().handle_batch(state, events)
+        fn = self._fn
+        out: List[Event] = []
+        append = out.append
+        tuple_new = tuple.__new__
+        for event in events:
+            if type(event) is Marker:
+                append(event)
+                continue
+            key, value = event
+            result = fn(key, value)
+            if result is not None:
+                for pair in result:
+                    append(tuple_new(KV, pair))
+        return out

@@ -34,6 +34,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.operators.base import Event, KV, Marker
+from repro.operators.keyed_unordered import CombinedAgg
+from repro.storm.batching import BatchingOptions
 from repro.storm.cluster import Cluster, Placement, round_robin_placement
 from repro.storm.costs import CostModel, UniformCostModel
 from repro.storm.groupings import Grouping
@@ -133,6 +135,8 @@ class _TaskRuntime:
         "collector",
         "queue",
         "running",
+        "batchable",
+        "combiners",
     )
 
     def __init__(self, component, index, machine, is_spout, payload, state):
@@ -150,6 +154,11 @@ class _TaskRuntime:
         # in-flight execution (a scheduled "done" event).
         self.queue: "deque" = deque()
         self.running = False
+        # Micro-batching eligibility and sender-side combiner buffers
+        # (consumer -> {key: pending monoid aggregate}); populated by
+        # Simulator.run when a BatchingOptions licenses them.
+        self.batchable = False
+        self.combiners: Dict[str, Dict[Any, Any]] = {}
 
 
 class Simulator:
@@ -172,6 +181,15 @@ class Simulator:
         epoch (watermarks).  Instrumentation is read-only — it never
         touches the RNG or the schedule, so an instrumented run produces
         bit-identical results.
+    batching: optional :class:`~repro.storm.batching.BatchingOptions`
+        enabling the epoch-batched fast paths — receiver-side
+        micro-batching through ``execute_batch`` (one framework overhead
+        per batch instead of per tuple) and sender-side per-key
+        combiners on type-licensed ``U(K,V)`` hash edges.  Batching
+        changes the simulated *schedule* (fewer invocations, fewer
+        shipped tuples) but never the canonical sink traces; it is
+        disabled automatically while ``obs`` is enabled, because the
+        instrumentation records per-tuple executions.
     """
 
     def __init__(
@@ -183,6 +201,7 @@ class Simulator:
         seed: int = 0,
         max_events: int = 50_000_000,
         obs: Optional[ObsContext] = None,
+        batching: Optional[BatchingOptions] = None,
     ):
         topology.validate()
         self.topology = topology
@@ -192,6 +211,7 @@ class Simulator:
         self.seed = seed
         self.max_events = max_events
         self.obs = obs
+        self.batching = batching
 
     # ------------------------------------------------------------------
 
@@ -247,6 +267,23 @@ class Simulator:
             for key, runtime in tasks.items():
                 if hasattr(runtime.payload, "frontend_merge_state"):
                     frontend_hooks[key] = runtime.payload
+
+        # Type-licensed batching (see repro.storm.batching).  Disabled
+        # wholesale under observability: the instrumentation records and
+        # type-checks per-tuple executions and deliveries, which the
+        # batched schedule deliberately coalesces.
+        batching = self.batching if not obs_on else None
+        max_batch = batching.max_batch if batching is not None else 1
+        combiner_plan = batching.combiners if batching is not None else {}
+        if batching is not None:
+            for runtime in tasks.values():
+                if batching.micro_batch and hasattr(
+                    runtime.payload, "execute_batch"
+                ):
+                    runtime.batchable = True
+                for consumer in downstream[runtime.component]:
+                    if (runtime.component, consumer) in combiner_plan:
+                        runtime.combiners[consumer] = {}
 
         # Per-machine core availability heaps (source host unbounded).
         core_free: Dict[int, List[float]] = {}
@@ -349,6 +386,40 @@ class Simulator:
                 )
                 cost += cpu
                 breakdown.append((runtime.component, cpu, 1))
+            return cost
+
+        def execution_cost_batch(
+            runtime: _TaskRuntime, batch: List[Tuple[StormTuple, bool]]
+        ) -> float:
+            """Cost of one micro-batch execution.
+
+            The per-invocation framework overhead is paid once for the
+            whole batch — that is the entire point of micro-batching —
+            while the per-tuple charges (remote deserialization, glue,
+            per-vertex CPU) are identical to the serial path, so the
+            simulated speedup comes only from amortized overhead, never
+            from dropped work."""
+            cost = self.cost_model.framework_overhead
+            payload = runtime.payload
+            if hasattr(payload, "cost_events"):
+                for tup, was_remote in batch:
+                    if was_remote:
+                        cost += self.cost_model.remote_cpu
+                    cost += self.cost_model.glue_cost(
+                        runtime.component, tup.event
+                    )
+                for vertex, events in payload.cost_events(runtime.state):
+                    for event in events:
+                        cost += self.cost_model.vertex_cost(
+                            vertex, event, runtime.index
+                        )
+            else:
+                for tup, was_remote in batch:
+                    if was_remote:
+                        cost += self.cost_model.remote_cpu
+                    cost += self.cost_model.cpu_cost(
+                        runtime.component, tup.event, runtime.index
+                    )
             return cost
 
         def record_execution(
@@ -458,6 +529,9 @@ class Simulator:
             nonlocal makespan
             if runtime.running or not runtime.queue:
                 return
+            if runtime.batchable:
+                start_batch(runtime, now)
+                return
             tup, was_remote = runtime.queue.popleft()
             start = now
             cores = core_free.get(runtime.machine)
@@ -496,35 +570,111 @@ class Simulator:
             route(runtime, outputs, finish)
             schedule(finish, "done", (runtime.component, runtime.index))
 
+        def start_batch(runtime: _TaskRuntime, now: float) -> None:
+            """Drain one epoch-capped micro-batch and execute it at once.
+
+            The batch stops after the first marker (epoch granularity),
+            so marker alignment is timed exactly as in the serial
+            engine, and at ``max_batch`` tuples, so one deep queue
+            cannot monopolize a core arbitrarily long."""
+            nonlocal makespan
+            queue = runtime.queue
+            batch: List[Tuple[StormTuple, bool]] = []
+            while queue and len(batch) < max_batch:
+                entry = queue.popleft()
+                batch.append(entry)
+                if isinstance(entry[0].event, Marker):
+                    break
+            start = now
+            cores = core_free.get(runtime.machine)
+            if cores is not None:
+                earliest = heapq.heappop(cores)
+                start = max(start, earliest)
+            runtime.payload.execute_batch(
+                runtime.state, [tup for tup, _ in batch], runtime.collector
+            )
+            outputs = runtime.collector.drain()
+            cost = execution_cost_batch(runtime, batch)
+            finish = start + cost
+            machine_busy[runtime.machine] = (
+                machine_busy.get(runtime.machine, 0.0) + cost
+            )
+            if cores is not None:
+                heapq.heappush(cores, finish)
+            runtime.free_at = finish
+            runtime.running = True
+            makespan = max(makespan, finish)
+            processed[runtime.component] += len(batch)
+            route(runtime, outputs, finish)
+            schedule(finish, "done", (runtime.component, runtime.index))
+
         # FIFO per link: Storm guarantees in-order delivery between a fixed
         # producer task and consumer task; jittered delays must never
         # reorder tuples on the same link.
         link_clock: Dict[Tuple[TaskKey, TaskKey], float] = {}
 
-        def route(runtime: _TaskRuntime, events: List[Event], at: float) -> None:
-            nonlocal makespan
+        def send(
+            runtime: _TaskRuntime, tup: StormTuple, consumer: str, at: float
+        ) -> None:
+            """Ship one tuple to every selected task of ``consumer``."""
+            grouping = runtime.groupings[consumer]
+            n_tasks = self.topology.components[consumer].parallelism
             src_key = (runtime.component, runtime.index)
+            for target in grouping.select(tup.event, n_tasks):
+                dst_key = (consumer, target)
+                dst = tasks[dst_key]
+                delay = self.cost_model.network_delay(
+                    runtime.machine, dst.machine, rng
+                )
+                arrival = at + delay
+                link = (src_key, dst_key)
+                floor = link_clock.get(link, 0.0)
+                arrival = max(arrival, floor)
+                link_clock[link] = arrival
+                schedule(
+                    arrival, "deliver", dst_key, tup,
+                    remote=runtime.machine != dst.machine,
+                )
+
+        def route(runtime: _TaskRuntime, events: List[Event], at: float) -> None:
             for event in events:
                 emitted[runtime.component] += 1
                 tup = StormTuple(event, runtime.component, runtime.index)
                 for consumer in downstream[runtime.component]:
-                    grouping = runtime.groupings[consumer]
-                    n_tasks = self.topology.components[consumer].parallelism
-                    for target in grouping.select(event, n_tasks):
-                        dst_key = (consumer, target)
-                        dst = tasks[dst_key]
-                        delay = self.cost_model.network_delay(
-                            runtime.machine, dst.machine, rng
-                        )
-                        arrival = at + delay
-                        link = (src_key, dst_key)
-                        floor = link_clock.get(link, 0.0)
-                        arrival = max(arrival, floor)
-                        link_clock[link] = arrival
-                        schedule(
-                            arrival, "deliver", dst_key, tup,
-                            remote=runtime.machine != dst.machine,
-                        )
+                    pending = runtime.combiners.get(consumer)
+                    if pending is not None:
+                        if isinstance(event, KV):
+                            # Fold instead of shipping: the U(K,V) edge
+                            # type makes between-marker items mutually
+                            # independent, and the consumer's head
+                            # operator folds them through a commutative
+                            # monoid — so one pre-combined aggregate per
+                            # key per epoch denotes the same trace.
+                            head = combiner_plan[(runtime.component, consumer)]
+                            folded = head.fold_in(event.key, event.value)
+                            if event.key in pending:
+                                pending[event.key] = head.combine(
+                                    pending[event.key], folded
+                                )
+                            else:
+                                pending[event.key] = folded
+                            continue
+                        if isinstance(event, Marker) and pending:
+                            # Flush the epoch's aggregates ahead of the
+                            # marker; link FIFO keeps them in its block.
+                            for key, agg in pending.items():
+                                send(
+                                    runtime,
+                                    StormTuple(
+                                        KV(key, CombinedAgg(agg)),
+                                        runtime.component,
+                                        runtime.index,
+                                    ),
+                                    consumer,
+                                    at,
+                                )
+                            pending.clear()
+                    send(runtime, tup, consumer, at)
 
         while heap:
             events_handled += 1
