@@ -99,6 +99,10 @@ class LinearInterpolationOp(OpKeyedOrdered):
     def init(self):
         return None
 
+    def copy_state(self, state):
+        # A mutable [load, ts, dtype] triple of scalars (or None).
+        return state if state is None else list(state)
+
     def on_item(self, state, key, value, emit):
         # State is a mutable [load, ts, dtype] triple updated in place —
         # one list allocated per key instead of one tuple per sample.
@@ -160,6 +164,10 @@ class AveragePerSecondOp(OpKeyedOrdered):
     def init(self):
         return None  # or [ts, total, count]
 
+    def copy_state(self, state):
+        # A mutable [ts, total, count] triple of scalars (or None).
+        return state if state is None else list(state)
+
     def on_item(self, state, key, value, emit):
         # State is a mutable [ts, total, count] triple updated in place.
         load, ts = value
@@ -218,6 +226,10 @@ class PredictOp(OpKeyedOrdered):
 
     def init(self):
         return deque()
+
+    def copy_state(self, state):
+        # A deque of immutable (ts, load) tuples.
+        return deque(state)
 
     def on_item(self, state, key, value, emit):
         avg_load, ts = value

@@ -107,6 +107,54 @@ class InProcessPipeline:
         """Everything delivered to ``sink`` so far."""
         return list(self._outputs[sink])
 
+    def sink_names(self) -> List[str]:
+        """The DAG's sink names, in declaration order."""
+        return list(self._outputs)
+
+    # -- fault tolerance (see repro.storm.recovery) --------------------
+
+    def snapshot(self) -> Any:
+        """Checkpoint the whole pipeline: every vertex state plus the
+        sink output lengths.
+
+        Meaningful at epoch boundaries — after pushing whole marker-
+        terminated blocks through every source — where the DAG is fully
+        drained (the push worklists run to completion), so there is no
+        in-flight data to capture.
+        """
+        vertices = self._dag.vertices
+        return {
+            "ops": {
+                vertex_id: vertices[vertex_id].payload.snapshot_state(state)
+                for vertex_id, state in self._op_state.items()
+            },
+            "merges": {
+                vertex_id: self._implicit_merge[vertex_id].snapshot_state(state)
+                for vertex_id, state in self._merge_state.items()
+            },
+            "outputs": {
+                name: len(events) for name, events in self._outputs.items()
+            },
+        }
+
+    def restore(self, snapshot: Any) -> None:
+        """Roll the pipeline back to a :meth:`snapshot` checkpoint.
+
+        The snapshot survives intact, so it can be restored again after
+        another failure.
+        """
+        vertices = self._dag.vertices
+        for vertex_id, snap in snapshot["ops"].items():
+            self._op_state[vertex_id] = (
+                vertices[vertex_id].payload.restore_state(snap)
+            )
+        for vertex_id, snap in snapshot["merges"].items():
+            self._merge_state[vertex_id] = (
+                self._implicit_merge[vertex_id].restore_state(snap)
+            )
+        for name, length in snapshot["outputs"].items():
+            del self._outputs[name][length:]
+
     def run(
         self, source_events: Dict[str, Sequence[Event]]
     ) -> Dict[str, List[Event]]:

@@ -55,6 +55,26 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class TaskFailureError(SimulationError):
+    """A simulated task failed (operator exception or injected fault).
+
+    Carries the failure context — which task, on which machine, during
+    which epoch — plus a partial :class:`~repro.storm.simulator.
+    SimulationReport` covering everything delivered before the failure,
+    so callers can assert on *where* a run died instead of parsing a
+    bare traceback.
+    """
+
+    def __init__(self, message, *, component=None, task_index=None,
+                 machine=None, epoch=None, report=None):
+        super().__init__(message)
+        self.component = component
+        self.task_index = task_index
+        self.machine = machine
+        self.epoch = epoch
+        self.report = report
+
+
 class SchemaError(ReproError):
     """A database table or row violates its declared schema."""
 

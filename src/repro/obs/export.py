@@ -166,6 +166,11 @@ def write_telemetry(path: str, monitors: Any) -> None:
 
 def render_watch_line(row: dict) -> Optional[str]:
     """One compact dashboard line for a telemetry row (``repro obs watch``)."""
+    if row.get("type") == "recovery":
+        return (
+            f"t={row['time']:>10.4f}  ROLLBACK to epoch "
+            f"{row.get('epoch')!s} (recovery #{row.get('recoveries_total')})"
+        )
     if row.get("type") != "telemetry":
         return None
     lag = row.get("max_watermark_lag")

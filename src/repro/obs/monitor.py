@@ -399,6 +399,17 @@ class EdgeMonitor:
 
     # -- introspection -------------------------------------------------
 
+    def reset_for_replay(self) -> None:
+        """Forget per-task alignment state ahead of a recovery replay.
+
+        After a rollback the reliability layer re-delivers epochs from
+        the restored checkpoint; replayed markers and items would trip
+        the marker-count and order checks against the pre-crash state,
+        so the recovery coordinator clears it.  Observation totals and
+        recorded violations survive — only the in-flight protocol state
+        is dropped."""
+        self._tasks.clear()
+
     def channel_states(self) -> Dict[Tuple[int, int], _ChannelState]:
         """``(consumer task, upstream task) -> channel state`` (tests)."""
         return {
@@ -451,6 +462,10 @@ class MonitorHub:
         self._telemetry: List[Dict[str, Any]] = []
         self._seq = 0
         self.closed = False
+        #: rollbacks observed: (restored epoch, time) per recovery.
+        self.recoveries: List[Tuple[Any, float]] = []
+        #: epoch restored by the most recent rollback (None before any).
+        self.recovery_epoch: Any = None
         #: optional live-view callback, called with each telemetry row.
         self.on_telemetry: Optional[Callable[[Dict[str, Any]], None]] = None
 
@@ -592,6 +607,33 @@ class MonitorHub:
         else:
             self._lag_alerted.discard(key)
 
+    def on_rollback(self, epoch: Any, time: float) -> None:
+        """The recovery coordinator rolled the run back to ``epoch``.
+
+        Resets every edge monitor's in-flight protocol state so the
+        replay is judged on its own terms (re-delivered markers must not
+        count as duplicates of their pre-crash copies), records the
+        recovery, and emits a ``"recovery"`` telemetry record."""
+        for monitor in self.edges.values():
+            monitor.reset_for_replay()
+        if epoch is None:
+            self.watermarks.clear()
+        else:
+            # Every restored task is back at the checkpoint epoch.
+            self.watermarks = {key: epoch for key in self.watermarks}
+        self._lag_alerted.clear()
+        self.recoveries.append((epoch, time))
+        self.recovery_epoch = epoch
+        row = {
+            "type": "recovery",
+            "epoch": None if epoch is None else str(epoch),
+            "time": time,
+            "recoveries_total": len(self.recoveries),
+        }
+        self._telemetry.append(row)
+        if self.on_telemetry is not None:
+            self.on_telemetry(row)
+
     def close(self, time: float) -> None:
         """End of run: take the final telemetry snapshot."""
         if self.closed:
@@ -649,6 +691,11 @@ class MonitorHub:
             "frontier_epochs": len(self._frontier),
             "max_watermark_lag": worst_lag,
             "max_watermark_lag_task": worst_task,
+            "recoveries_total": len(self.recoveries),
+            "recovery_epoch": (
+                None if self.recovery_epoch is None
+                else str(self.recovery_epoch)
+            ),
         }
 
     # -- telemetry -----------------------------------------------------

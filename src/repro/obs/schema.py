@@ -2,7 +2,7 @@
 
 The JSONL exports (:meth:`repro.obs.tracing.Tracer.write_jsonl` and
 :meth:`repro.obs.monitor.MonitorHub.write_telemetry_jsonl`) emit one
-record per line.  Five record types exist:
+record per line.  Six record types exist:
 
 ``span``::
 
@@ -35,6 +35,12 @@ snapshot)::
      "max_watermark_lag_task": str|null, "max_queue_depth": number,
      "max_queue_depth_task": str|null, "violations_total": int,
      "alerts_total": int}
+
+``recovery`` (a :meth:`~repro.obs.monitor.MonitorHub.on_rollback`
+notification from the recovery coordinator)::
+
+    {"type": "recovery", "epoch": str|null, "time": float,
+     "recoveries_total": int}
 
 Invariants checked beyond field shapes:
 
@@ -81,6 +87,10 @@ _TELEMETRY_FIELDS = {
     "max_queue_depth_task": (str, type(None)),
     "violations_total": int, "alerts_total": int,
 }
+_RECOVERY_FIELDS = {
+    "epoch": (str, type(None)), "time": (int, float),
+    "recoveries_total": int,
+}
 SPAN_CATEGORIES = {"exec", "member", "epoch"}
 VIOLATION_KINDS = {
     "per-key-order", "duplicate-marker", "out-of-epoch-marker",
@@ -106,7 +116,7 @@ def _check_fields(record: Dict[str, Any], fields: Dict[str, Any],
     # bool is an int subclass; reject it for numeric fields explicitly.
     for name in ("task", "machine", "start", "end", "time", "value",
                  "threshold", "seq", "frontier_index", "max_queue_depth",
-                 "violations_total", "alerts_total"):
+                 "violations_total", "alerts_total", "recoveries_total"):
         if name in fields and isinstance(record.get(name), bool):
             raise TraceSchemaError(f"line {line}: field {name!r} is a bool")
 
@@ -164,6 +174,13 @@ def validate_records(records: Iterable[Tuple[int, Dict[str, Any]]]) -> int:
                     f"{last_telemetry_seq}"
                 )
             last_telemetry_seq = seq
+        elif rtype == "recovery":
+            _check_fields(record, _RECOVERY_FIELDS, line)
+            if record["recoveries_total"] < 1:
+                raise TraceSchemaError(
+                    f"line {line}: recovery record with total "
+                    f"{record['recoveries_total']}"
+                )
         else:
             raise TraceSchemaError(f"line {line}: unknown record type {rtype!r}")
     eps = 1e-9

@@ -17,6 +17,7 @@ templates the programmer never emits markers; the runtime propagates them
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, List, NamedTuple, Optional, Sequence, Union
 
 
@@ -128,6 +129,25 @@ class Operator:
         for event in events:
             out.extend(handle(state, event))
         return out
+
+    def snapshot_state(self, state: Any) -> Any:
+        """Capture ``state`` for an epoch-aligned checkpoint.
+
+        The snapshot must be *independent* of the live state: mutating
+        either afterwards must not affect the other.  The default deep
+        copy is always correct; the template subclasses override it with
+        cheaper structure-aware copies.
+        """
+        return copy.deepcopy(state)
+
+    def restore_state(self, snapshot: Any) -> Any:
+        """Rebuild a live state from a :meth:`snapshot_state` result.
+
+        The snapshot itself must survive intact (it may be restored
+        again after a second failure), so the default deep-copies on the
+        way out too.
+        """
+        return copy.deepcopy(snapshot)
 
     def run(self, events) -> List[Event]:
         """Evaluate sequentially over an event iterable (testing aid)."""

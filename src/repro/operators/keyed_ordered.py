@@ -22,6 +22,7 @@ equivalent outputs.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Dict, List
 
 from repro.errors import TraceTypeError
@@ -85,6 +86,29 @@ class OpKeyedOrdered(Operator):
 
     def initial_state(self) -> _KeyedOrderedState:
         return _KeyedOrderedState()
+
+    def copy_state(self, state: Any) -> Any:
+        """Independent copy of one key's user state, for checkpointing.
+
+        User states may be arbitrary, so the default deep-copies.
+        Subclasses whose state is a known shallow structure (a list of
+        scalars, a deque of immutable tuples) should override this with
+        the cheap structural copy — it runs once per key per epoch
+        snapshot, which makes it the checkpointing hot path.
+        """
+        return copy.deepcopy(state)
+
+    def snapshot_state(self, state: _KeyedOrderedState) -> Any:
+        # The emitter is drained between invocations; only per_key is
+        # durable.
+        cp = self.copy_state
+        return {key: cp(v) for key, v in state.per_key.items()}
+
+    def restore_state(self, snapshot: Any) -> _KeyedOrderedState:
+        state = _KeyedOrderedState()
+        cp = self.copy_state
+        state.per_key = {key: cp(v) for key, v in snapshot.items()}
+        return state
 
     def handle(self, state: _KeyedOrderedState, event: Event) -> List[Event]:
         if isinstance(event, Marker):

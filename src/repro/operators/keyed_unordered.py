@@ -20,6 +20,7 @@ the *last snapshot* of the state), and ``on_marker``.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
@@ -156,6 +157,28 @@ class OpKeyedUnordered(Operator):
 
     def initial_state(self) -> _KeyedUnorderedState:
         return _KeyedUnorderedState(self.init())
+
+    def snapshot_state(self, state: _KeyedUnorderedState) -> Any:
+        # Only the record map and startS are durable; the emitter buffer
+        # is always drained between invocations.  The per-key ``agg`` /
+        # ``state`` values may be arbitrary user objects, so they still
+        # deep-copy — the saving is skipping the slotted wrappers.
+        return (
+            copy.deepcopy(state.start_state),
+            {
+                key: (copy.deepcopy(r.agg), copy.deepcopy(r.state))
+                for key, r in state.state_map.items()
+            },
+        )
+
+    def restore_state(self, snapshot: Any) -> _KeyedUnorderedState:
+        start_state, records = snapshot
+        state = _KeyedUnorderedState(copy.deepcopy(start_state))
+        for key, (agg, key_state) in records.items():
+            state.state_map[key] = _Record(
+                copy.deepcopy(agg), copy.deepcopy(key_state)
+            )
+        return state
 
     def handle(self, state: _KeyedUnorderedState, event: Event) -> List[Event]:
         if isinstance(event, Marker):

@@ -114,6 +114,32 @@ class Merge:
             i = j
         return out
 
+    def snapshot_state(self, state: _MergeState) -> Any:
+        """Full-fidelity copy of the alignment state.
+
+        Items are immutable events, so per-block shallow list copies
+        suffice; the deques are rebuilt on restore.
+        """
+        return (
+            list(state.blocks_ahead),
+            [[list(block) for block in queue] for queue in state.pending],
+            [list(queue) for queue in state.marker_timestamps],
+            state.emitted_markers,
+            state.last_emitted_ts,
+        )
+
+    def restore_state(self, snapshot: Any) -> _MergeState:
+        blocks_ahead, pending, marker_timestamps, emitted, last_ts = snapshot
+        state = _MergeState(self.n_inputs)
+        state.blocks_ahead = list(blocks_ahead)
+        state.pending = [
+            deque(list(block) for block in queue) for queue in pending
+        ]
+        state.marker_timestamps = [deque(queue) for queue in marker_timestamps]
+        state.emitted_markers = emitted
+        state.last_emitted_ts = last_ts
+        return state
+
     def _drain_ready(self, state: _MergeState, out: List[Event]) -> None:
         """Emit markers (and flush buffered blocks) while every channel is
         at least one marker ahead of the output."""

@@ -47,6 +47,14 @@ class SortOp(Operator):
     def initial_state(self) -> Dict[Any, List[Any]]:
         return {}
 
+    def snapshot_state(self, state: Dict[Any, List[Any]]) -> Dict[Any, List[Any]]:
+        # The buffers hold immutable KV events, so shallow list copies
+        # are fully independent — no deep copy needed.
+        return {key: list(buffered) for key, buffered in state.items()}
+
+    def restore_state(self, snapshot: Dict[Any, List[Any]]) -> Dict[Any, List[Any]]:
+        return {key: list(buffered) for key, buffered in snapshot.items()}
+
     def handle(self, state: Dict[Any, List[Any]], event: Event) -> List[Event]:
         if isinstance(event, Marker):
             out: List[Event] = []

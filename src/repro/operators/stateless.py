@@ -39,6 +39,14 @@ class OpStateless(Operator):
         """Process one marker (output only; the marker itself is forwarded
         automatically)."""
 
+    def snapshot_state(self, state: Emitter) -> Any:
+        # The emitter buffer is always drained between invocations, so a
+        # stateless operator has nothing to checkpoint.
+        return None
+
+    def restore_state(self, snapshot: Any) -> Emitter:
+        return self.initial_state()
+
     def handle(self, state: Emitter, event: Event) -> List[Event]:
         if isinstance(event, Marker):
             self.on_marker(event, state.emit)

@@ -16,6 +16,10 @@ laptop and interleaving nondeterminism is seeded.
 - :mod:`repro.storm.simulator` — the discrete-event engine.
 - :mod:`repro.storm.local` — convenience runner for correctness-only
   executions.
+- :mod:`repro.storm.faults` — declarative fault plans (task crashes,
+  machine failures, lossy/duplicating/reordering edges).
+- :mod:`repro.storm.recovery` — epoch-aligned checkpointing and
+  exactly-once recovery (see ``docs/fault_tolerance.md``).
 """
 
 from repro.storm.tuples import StormTuple
@@ -45,6 +49,21 @@ from repro.storm.cluster import (
     aligned_placement,
 )
 from repro.storm.costs import CostModel, UniformCostModel, PerComponentCostModel
+from repro.storm.faults import (
+    CrashFault,
+    EdgeFaults,
+    FaultPlan,
+    MachineFault,
+    Resequencer,
+    demo_plan,
+    load_fault_plan,
+)
+from repro.storm.recovery import (
+    CheckpointStore,
+    RecoveryOptions,
+    RecoveryStats,
+    run_with_recovery,
+)
 from repro.storm.simulator import Simulator, SimulationReport
 from repro.storm.local import LocalRunner
 
@@ -72,6 +91,17 @@ __all__ = [
     "CostModel",
     "UniformCostModel",
     "PerComponentCostModel",
+    "CrashFault",
+    "EdgeFaults",
+    "FaultPlan",
+    "MachineFault",
+    "Resequencer",
+    "demo_plan",
+    "load_fault_plan",
+    "CheckpointStore",
+    "RecoveryOptions",
+    "RecoveryStats",
+    "run_with_recovery",
     "Simulator",
     "SimulationReport",
     "LocalRunner",

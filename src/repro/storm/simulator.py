@@ -32,13 +32,15 @@ import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, TaskFailureError
 from repro.operators.base import Event, KV, Marker
 from repro.operators.keyed_unordered import CombinedAgg
 from repro.storm.batching import BatchingOptions
 from repro.storm.cluster import Cluster, Placement, round_robin_placement
 from repro.storm.costs import CostModel, UniformCostModel
+from repro.storm.faults import FaultPlan, Resequencer
 from repro.storm.groupings import Grouping
+from repro.storm.recovery import CheckpointStore, RecoveryOptions, RecoveryStats
 from repro.storm.topology import CaptureBolt, OutputCollector, Spout, Topology
 from repro.obs import ObsContext
 from repro.storm.tuples import StormTuple
@@ -71,6 +73,13 @@ class SimulationReport:
     machine_busy: Dict[int, float]
     #: cores per machine id (for utilization).
     machine_cores: Dict[int, int]
+    #: fault-tolerance accounting (a :class:`~repro.storm.recovery.
+    #: RecoveryStats`) when the run had faults or recovery enabled, else
+    #: ``None``.  Under recovery the raw ``sink_events``/``sink_tuples``
+    #: views are at-least-once (replayed epochs re-deliver); exactly-once
+    #: reads go through the capture bolts' aligned/received records,
+    #: which roll back with the checkpoints.
+    recovery: Optional[Any] = None
 
     def throughput(self) -> float:
         """Input data tuples per simulated second.
@@ -137,6 +146,12 @@ class _TaskRuntime:
         "running",
         "batchable",
         "combiners",
+        "executions",
+        "crash_after",
+        "last_marker",
+        "emit_log",
+        "replay_cursor",
+        "seal_on_marker",
     )
 
     def __init__(self, component, index, machine, is_spout, payload, state):
@@ -159,6 +174,19 @@ class _TaskRuntime:
         # Simulator.run when a BatchingOptions licenses them.
         self.batchable = False
         self.combiners: Dict[str, Dict[Any, Any]] = {}
+        # Fault-tolerance bookkeeping (see repro.storm.recovery):
+        # lifetime invocation count, pending injected crash threshold,
+        # last sealed epoch timestamp, the spout's emission log for
+        # replay, the replay cursor into it (None = live), and whether a
+        # plain single-channel bolt snapshots on each executed marker.
+        self.executions = 0
+        # Pending injected-crash thresholds (lifetime execution counts,
+        # ascending); each fires once and is consumed.
+        self.crash_after: List[int] = []
+        self.last_marker: Any = None
+        self.emit_log: Optional[List[Event]] = None
+        self.replay_cursor: Optional[int] = None
+        self.seal_on_marker = False
 
 
 class Simulator:
@@ -190,6 +218,22 @@ class Simulator:
         shipped tuples) but never the canonical sink traces; it is
         disabled automatically while ``obs`` is enabled, because the
         instrumentation records per-tuple executions.
+    faults: optional :class:`~repro.storm.faults.FaultPlan` injecting
+        task crashes, machine failures, and per-edge message
+        drop/duplicate/reorder.  Fault randomness draws from the plan's
+        own seeded RNG, never the scheduling RNG, so enabling the
+        machinery without faults leaves the simulated schedule
+        unchanged.  Without ``recovery``, a crash raises
+        :class:`~repro.errors.TaskFailureError` and message faults are
+        raw (drops lose tuples).
+    recovery: optional :class:`~repro.storm.recovery.RecoveryOptions`
+        enabling epoch-aligned checkpointing and global rollback
+        recovery: tasks snapshot at marker boundaries, crashes restore
+        the last complete epoch and replay sources from it, and links
+        become exactly-once via per-link sequence numbers and
+        resequencing (drops turn into retransmissions).  The recovered
+        run's canonical sink traces are trace-equivalent to the
+        fault-free run's.
     """
 
     def __init__(
@@ -202,6 +246,8 @@ class Simulator:
         max_events: int = 50_000_000,
         obs: Optional[ObsContext] = None,
         batching: Optional[BatchingOptions] = None,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryOptions] = None,
     ):
         topology.validate()
         self.topology = topology
@@ -212,6 +258,8 @@ class Simulator:
         self.max_events = max_events
         self.obs = obs
         self.batching = batching
+        self.faults = faults
+        self.recovery = recovery
 
     # ------------------------------------------------------------------
 
@@ -245,6 +293,33 @@ class Simulator:
                     instance.bind(random.Random(rng.randrange(2**62)))
                     runtime.groupings[consumer] = instance
                 tasks[(spec.name, index)] = runtime
+
+        # Fault tolerance: a dedicated RNG (never the scheduling RNG, so
+        # a recovery-enabled fault-free run draws the identical schedule)
+        # plus the per-edge fault table and per-task crash thresholds.
+        faults = self.faults
+        recovery = self.recovery
+        recovery_on = recovery is not None
+        ft_on = faults is not None or recovery_on
+        fault_rng = random.Random(faults.seed) if faults is not None else None
+        stats = RecoveryStats() if ft_on else None
+        edge_faults_map: Dict[Tuple[str, str], Any] = {}
+        if faults is not None:
+            for crash in faults.crashes:
+                crash_key = (crash.component, crash.task)
+                if crash_key not in tasks:
+                    raise SimulationError(
+                        f"fault plan names unknown task {crash_key}"
+                    )
+                if crash.after_executions is not None:
+                    thresholds = tasks[crash_key].crash_after
+                    thresholds.append(crash.after_executions)
+                    thresholds.sort()
+            for spec in self.topology.components.values():
+                for consumer, _ in self.topology.downstream_of(spec.name):
+                    edge = faults.edge_faults(spec.name, consumer)
+                    if edge is not None and edge.active():
+                        edge_faults_map[(spec.name, consumer)] = edge
 
         # Observability: precompute everything so the disabled path pays
         # exactly one `if obs_on` check per instrumentation site.
@@ -297,6 +372,88 @@ class Simulator:
                      remote: bool = False):
             heapq.heappush(heap, (time, next(seq), action, task, tup, remote))
 
+        # Time-triggered faults enter the heap as their own actions
+        # (handled before task dispatch — a machine fault has no task).
+        if faults is not None:
+            for crash in faults.crashes:
+                if crash.at_time is not None:
+                    schedule(
+                        crash.at_time, "crash", (crash.component, crash.task)
+                    )
+            for machine_fault in faults.machine_faults:
+                schedule(
+                    machine_fault.at_time, "machine-fault", None,
+                    tup=machine_fault,
+                )
+
+        # Epoch-aligned checkpointing: epoch timestamps are indexed in
+        # marker order as spouts first emit them; a snapshot epoch is
+        # complete once every task has contributed its state at that
+        # marker boundary.
+        epoch_index: Dict[Any, int] = {}
+        ck_every = recovery.checkpoint_every if recovery_on else 1
+        store = (
+            CheckpointStore(len(tasks), index_of=epoch_index.__getitem__)
+            if recovery_on else None
+        )
+
+        def checkpoint_epoch(ts: Any) -> bool:
+            index = epoch_index.get(ts)
+            return index is not None and (index + 1) % ck_every == 0
+
+        def record_snapshot(key: TaskKey, ts: Any, snapshot: Any) -> None:
+            completed = store.add(ts, key, snapshot)
+            stats.checkpoints_taken += 1
+            if completed:
+                stats.complete_epochs = epoch_index[ts] + 1
+            if metrics_on:
+                metrics.counter(
+                    "checkpoints_taken", component=key[0]
+                ).inc()
+
+        def make_seal_cb(key: TaskKey, runtime: "_TaskRuntime"):
+            """The epoch-seal callback armed on checkpointable bolts."""
+
+            def on_seal(ts: Any) -> None:
+                runtime.last_marker = ts
+                if checkpoint_epoch(ts):
+                    record_snapshot(
+                        key, ts, runtime.payload.snapshot_state(runtime.state)
+                    )
+
+            return on_seal
+
+        if recovery_on:
+            for key, runtime in tasks.items():
+                if runtime.is_spout:
+                    runtime.emit_log = []
+                    continue
+                payload = runtime.payload
+                if hasattr(payload, "arm_seal_hook"):
+                    payload.arm_seal_hook(
+                        runtime.state, make_seal_cb(key, runtime)
+                    )
+                    continue
+                spec = self.topology.components[runtime.component]
+                n_channels = sum(
+                    self.topology.components[upstream].parallelism
+                    for upstream in spec.inputs
+                )
+                if n_channels > 1:
+                    raise SimulationError(
+                        "recovery needs aligned epoch snapshots, but plain "
+                        f"bolt {runtime.component!r} merges {n_channels} "
+                        "upstream task channels without a merge frontend; "
+                        "use a compiled topology or AlignedCaptureBolt"
+                    )
+                if isinstance(payload, CaptureBolt) and spec.parallelism > 1:
+                    raise SimulationError(
+                        f"recovery requires CaptureBolt {runtime.component!r} "
+                        "to run with parallelism 1 (its record is shared "
+                        "across tasks); use AlignedCaptureBolt"
+                    )
+                runtime.seal_on_marker = True
+
         # Kick off all spout tasks at t=0.
         for key, runtime in tasks.items():
             if runtime.is_spout:
@@ -315,6 +472,168 @@ class Simulator:
         input_all = 0
         makespan = 0.0
         events_handled = 0
+
+        # Per-link FIFO floors, reliability-layer sequence counters, and
+        # receiver-side resequencers (the latter two only under recovery).
+        link_clock: Dict[Tuple[TaskKey, TaskKey], float] = {}
+        link_seq: Dict[Tuple[TaskKey, TaskKey], int] = {}
+        link_reseq: Dict[Tuple[TaskKey, TaskKey], Resequencer] = {}
+
+        def build_report() -> SimulationReport:
+            """The run's report so far (also attached to failures)."""
+            return SimulationReport(
+                makespan=makespan,
+                input_data_tuples=input_data,
+                input_all_tuples=input_all,
+                processed=processed,
+                emitted=emitted,
+                sink_events={
+                    name: [t.event for _, _, t in deliveries]
+                    for name, deliveries in sink_deliveries.items()
+                },
+                sink_tuples={
+                    name: [t for _, _, t in deliveries]
+                    for name, deliveries in sink_deliveries.items()
+                },
+                sink_delivery_times={
+                    name: [time for time, _, _ in deliveries]
+                    for name, deliveries in sink_deliveries.items()
+                },
+                marker_emit_times=marker_emit_times,
+                machine_busy=machine_busy,
+                machine_cores={
+                    m.machine_id: m.cores for m in self.cluster.machines
+                },
+                recovery=stats,
+            )
+
+        def task_failure(
+            runtime: _TaskRuntime, exc: BaseException
+        ) -> TaskFailureError:
+            """Wrap a task's exception with its failure context."""
+            epoch = None
+            payload = runtime.payload
+            if hasattr(payload, "frontend_watermark"):
+                try:
+                    epoch = payload.frontend_watermark(runtime.state)
+                except Exception:
+                    epoch = None
+            if epoch is None:
+                epoch = runtime.last_marker
+            return TaskFailureError(
+                f"task {runtime.component}[{runtime.index}] on machine "
+                f"{runtime.machine} failed (last sealed epoch {epoch!r}): "
+                f"{exc}",
+                component=runtime.component,
+                task_index=runtime.index,
+                machine=runtime.machine,
+                epoch=epoch,
+                report=build_report(),
+            )
+
+        def fail_task(task_key: TaskKey, now: float, detail: str) -> None:
+            """An injected task crash: recover, or surface with context."""
+            runtime = tasks[task_key]
+            if not recovery_on:
+                raise task_failure(runtime, RuntimeError(detail))
+            recover_all(now, detail)
+
+        def recover_all(now: float, detail: str) -> None:
+            """Global rollback to the last complete epoch snapshot.
+
+            Every task restores its checkpoint (or re-prepares, if the
+            restored epoch predates its first snapshot), all in-flight
+            messages are discarded, the per-link reliability state is
+            reset (numbering restarts per incarnation — consistent,
+            because *all* state rolls back together), and spouts replay
+            their emission logs from the snapshot's boundary.
+            """
+            nonlocal heap
+            stats.recoveries += 1
+            if stats.recoveries > recovery.max_recoveries:
+                raise TaskFailureError(
+                    f"gave up after {recovery.max_recoveries} recoveries "
+                    f"(last cause: {detail})",
+                    report=build_report(),
+                )
+            latest = store.latest()
+            epoch, snapshots = latest if latest is not None else (None, {})
+            stats.last_restored_epoch = epoch
+            # Bank duplicate counts before the resequencers reset.
+            for resequencer in link_reseq.values():
+                stats.duplicates_filtered += resequencer.duplicates
+            link_reseq.clear()
+            link_seq.clear()
+            link_clock.clear()
+            # Purge in-flight traffic and stale task wakeups; injected
+            # future faults stay armed.
+            heap = [e for e in heap if e[2] in ("crash", "machine-fault")]
+            heapq.heapify(heap)
+            store.drop_after(epoch)
+            restart = now + recovery.restart_delay
+            for key, runtime in tasks.items():
+                runtime.queue.clear()
+                runtime.running = False
+                runtime.collector.drain()
+                for pending in runtime.combiners.values():
+                    pending.clear()
+                runtime.free_at = restart
+                runtime.last_marker = epoch
+                snapshot = snapshots.get(key)
+                if runtime.is_spout:
+                    runtime.replay_cursor = (
+                        snapshot["log_pos"] if snapshot is not None else 0
+                    )
+                    schedule(restart, "spout", key)
+                    continue
+                payload = runtime.payload
+                if snapshot is not None:
+                    runtime.state = payload.restore_state(snapshot)
+                else:
+                    spec = self.topology.components[runtime.component]
+                    runtime.state = payload.prepare(
+                        runtime.index, spec.parallelism
+                    )
+                if hasattr(payload, "arm_seal_hook"):
+                    payload.arm_seal_hook(
+                        runtime.state, make_seal_cb(key, runtime)
+                    )
+            if monitors_on:
+                monitors.on_rollback(epoch, now)
+            if metrics_on:
+                metrics.counter("recoveries").inc()
+                metrics.histogram("recovery_rollback_seconds").observe(
+                    max(0.0, now - marker_emit_times.get(epoch, now))
+                )
+            if tm_on:
+                tracer.sample(
+                    "recovery", "<coordinator>", 0, now, stats.recoveries
+                )
+
+        def handle_machine_fault(fault, now: float) -> None:
+            """Crash every task on a machine; permanent faults also
+            remove the machine and re-place its tasks on survivors."""
+            if fault.permanent and fault.machine in core_free:
+                core_free.pop(fault.machine)
+                survivors = sorted(core_free)
+                if not survivors:
+                    raise SimulationError(
+                        "machine fault left no worker machines"
+                    )
+                displaced = 0
+                for runtime in tasks.values():
+                    if runtime.machine == fault.machine:
+                        runtime.machine = survivors[
+                            displaced % len(survivors)
+                        ]
+                        displaced += 1
+            if not recovery_on:
+                raise TaskFailureError(
+                    f"machine {fault.machine} failed at t={now:.6f}",
+                    machine=fault.machine,
+                    report=build_report(),
+                )
+            recover_all(now, f"machine {fault.machine} fault")
 
         def begin_processing(runtime: _TaskRuntime, ready_time: float) -> float:
             """Account core + task availability; return the start time.
@@ -529,6 +848,16 @@ class Simulator:
             nonlocal makespan
             if runtime.running or not runtime.queue:
                 return
+            if ft_on:
+                runtime.executions += 1
+                if (
+                    runtime.crash_after
+                    and runtime.executions > runtime.crash_after[0]
+                ):
+                    runtime.crash_after.pop(0)  # each threshold fires once
+                    fail_task((runtime.component, runtime.index), now,
+                              "injected crash")
+                    return
             if runtime.batchable:
                 start_batch(runtime, now)
                 return
@@ -544,8 +873,31 @@ class Simulator:
                     hooks.frontend_merge_state(runtime.state).emitted_markers
                     if hooks is not None else None
                 )
-            runtime.payload.execute(runtime.state, tup, runtime.collector)
+            try:
+                runtime.payload.execute(runtime.state, tup, runtime.collector)
+            except Exception as exc:
+                if cores is not None:
+                    heapq.heappush(cores, start)
+                runtime.collector.drain()
+                if recovery_on:
+                    recover_all(now, f"operator exception: {exc}")
+                    return
+                raise task_failure(runtime, exc) from exc
             outputs = runtime.collector.drain()
+            if (
+                recovery_on
+                and runtime.seal_on_marker
+                and isinstance(tup.event, Marker)
+            ):
+                # Plain single-channel bolt: every executed marker seals
+                # an epoch (there is nothing to align).
+                sealed_ts = tup.event.timestamp
+                runtime.last_marker = sealed_ts
+                if checkpoint_epoch(sealed_ts):
+                    record_snapshot(
+                        (runtime.component, runtime.index), sealed_ts,
+                        runtime.payload.snapshot_state(runtime.state),
+                    )
             if tm_on:
                 breakdown: List[Tuple[str, float, int]] = []
                 cost = execution_cost_detailed(runtime, tup, was_remote, breakdown)
@@ -590,9 +942,18 @@ class Simulator:
             if cores is not None:
                 earliest = heapq.heappop(cores)
                 start = max(start, earliest)
-            runtime.payload.execute_batch(
-                runtime.state, [tup for tup, _ in batch], runtime.collector
-            )
+            try:
+                runtime.payload.execute_batch(
+                    runtime.state, [tup for tup, _ in batch], runtime.collector
+                )
+            except Exception as exc:
+                if cores is not None:
+                    heapq.heappush(cores, start)
+                runtime.collector.drain()
+                if recovery_on:
+                    recover_all(now, f"operator exception: {exc}")
+                    return
+                raise task_failure(runtime, exc) from exc
             outputs = runtime.collector.drain()
             cost = execution_cost_batch(runtime, batch)
             finish = start + cost
@@ -610,16 +971,29 @@ class Simulator:
 
         # FIFO per link: Storm guarantees in-order delivery between a fixed
         # producer task and consumer task; jittered delays must never
-        # reorder tuples on the same link.
-        link_clock: Dict[Tuple[TaskKey, TaskKey], float] = {}
+        # reorder tuples on the same link.  (link_clock lives next to the
+        # reliability-layer maps above so rollback can reset all three.)
 
         def send(
             runtime: _TaskRuntime, tup: StormTuple, consumer: str, at: float
         ) -> None:
-            """Ship one tuple to every selected task of ``consumer``."""
+            """Ship one tuple to every selected task of ``consumer``.
+
+            Under recovery every transmission is numbered per link and
+            delivered through the receiver's resequencer ("rdeliver"):
+            the link is at-least-once, so an injected drop becomes a
+            late retransmission, a duplicate is filtered on arrival, and
+            a reorder (which deliberately bypasses the FIFO floor) is
+            buffered until the gap fills.  Without recovery the faults
+            are raw — drops lose the tuple outright.
+            """
             grouping = runtime.groupings[consumer]
             n_tasks = self.topology.components[consumer].parallelism
             src_key = (runtime.component, runtime.index)
+            edge = (
+                edge_faults_map.get((runtime.component, consumer))
+                if edge_faults_map else None
+            )
             for target in grouping.select(tup.event, n_tasks):
                 dst_key = (consumer, target)
                 dst = tasks[dst_key]
@@ -631,10 +1005,66 @@ class Simulator:
                 floor = link_clock.get(link, 0.0)
                 arrival = max(arrival, floor)
                 link_clock[link] = arrival
-                schedule(
-                    arrival, "deliver", dst_key, tup,
-                    remote=runtime.machine != dst.machine,
-                )
+                remote = runtime.machine != dst.machine
+                if recovery_on and edge is not None:
+                    # Only fault-injected links pay for the reliability
+                    # layer (numbering + receiver-side resequencing).  A
+                    # healthy link is already exactly-once: rollback
+                    # purges everything in flight and the sources replay
+                    # from the checkpoint boundary, so sequence-number
+                    # dedup has nothing to catch there.
+                    seq_no = link_seq.get(link, 0)
+                    link_seq[link] = seq_no + 1
+                    actual = arrival
+                    if edge is not None:
+                        if edge.drop:
+                            retransmits = 0
+                            while (
+                                retransmits < edge.max_retransmits
+                                and fault_rng.random() < edge.drop
+                            ):
+                                retransmits += 1
+                            if retransmits:
+                                actual += (
+                                    retransmits * recovery.retransmit_timeout
+                                )
+                                stats.retransmissions += retransmits
+                        if edge.reorder and fault_rng.random() < edge.reorder:
+                            actual += fault_rng.random() * edge.reorder_delay
+                            stats.reordered += 1
+                        if (
+                            edge.duplicate
+                            and fault_rng.random() < edge.duplicate
+                        ):
+                            schedule(
+                                actual
+                                + fault_rng.random() * edge.reorder_delay,
+                                "rdeliver", dst_key, (seq_no, tup),
+                                remote=remote,
+                            )
+                    schedule(
+                        actual, "rdeliver", dst_key, (seq_no, tup),
+                        remote=remote,
+                    )
+                    continue
+                if edge is not None and not isinstance(tup.event, Marker):
+                    # Raw mode perturbs only data tuples: a lost or
+                    # duplicated marker kills alignment outright rather
+                    # than corrupting output, and surviving marker loss
+                    # is exactly what the reliability layer above is
+                    # for.  (Under recovery, markers are numbered and
+                    # faulted like everything else.)
+                    if edge.drop and fault_rng.random() < edge.drop:
+                        continue  # raw mode: the tuple is simply lost
+                    if edge.reorder and fault_rng.random() < edge.reorder:
+                        arrival += fault_rng.random() * edge.reorder_delay
+                        stats.reordered += 1
+                    if edge.duplicate and fault_rng.random() < edge.duplicate:
+                        schedule(
+                            arrival + fault_rng.random() * edge.reorder_delay,
+                            "deliver", dst_key, tup, remote=remote,
+                        )
+                schedule(arrival, "deliver", dst_key, tup, remote=remote)
 
         def route(runtime: _TaskRuntime, events: List[Event], at: float) -> None:
             for event in events:
@@ -676,16 +1106,93 @@ class Simulator:
                             pending.clear()
                     send(runtime, tup, consumer, at)
 
+        def deliver_one(
+            task_key: TaskKey, runtime: _TaskRuntime, tup: StormTuple,
+            remote: bool, time_now: float,
+        ) -> None:
+            """Hand one arrived tuple to its task (queue + taps)."""
+            if runtime.component in sink_deliveries:
+                sink_deliveries[runtime.component].append(
+                    (time_now, runtime.index, tup)
+                )
+            runtime.queue.append((tup, remote))
+            if obs_on:
+                depth = len(runtime.queue)
+                if monitors_on:
+                    monitors.on_delivery(
+                        runtime.component, runtime.index, tup, time_now,
+                        depth,
+                    )
+                if tm_on:
+                    tracer.sample(
+                        "queue_depth", runtime.component, runtime.index,
+                        time_now, depth,
+                    )
+                    if metrics_on:
+                        metrics.gauge(
+                            "queue_depth", component=runtime.component,
+                            task=runtime.index,
+                        ).set_max(depth)
+                    if (
+                        task_key in frontend_hooks
+                        and isinstance(tup.event, Marker)
+                    ):
+                        tracer.epoch_arrival(
+                            runtime.component, runtime.index,
+                            runtime.machine, tup.event.timestamp, time_now,
+                        )
+
         while heap:
             events_handled += 1
             if events_handled > self.max_events:
                 raise SimulationError("simulation exceeded max_events; runaway?")
             time_now, _, action, task_key, tup, remote = heapq.heappop(heap)
+
+            if action == "machine-fault":
+                handle_machine_fault(tup, time_now)
+                continue
+
             runtime = tasks[task_key]
 
+            if action == "crash":
+                fail_task(task_key, time_now, "injected crash")
+                continue
+
             if action == "spout":
-                alive = runtime.payload.next_tuple(runtime.collector)
-                outputs = runtime.collector.drain()
+                if ft_on:
+                    runtime.executions += 1
+                    if (
+                        runtime.crash_after
+                        and runtime.executions > runtime.crash_after[0]
+                    ):
+                        runtime.crash_after.pop(0)
+                        fail_task(task_key, time_now, "injected crash")
+                        continue
+                replayed = False
+                if runtime.replay_cursor is not None:
+                    if runtime.replay_cursor < len(runtime.emit_log):
+                        # Replay one logged event per wakeup; skip the
+                        # input counters and frontier taps — this
+                        # traffic was already accounted the first time.
+                        outputs = [runtime.emit_log[runtime.replay_cursor]]
+                        runtime.replay_cursor += 1
+                        alive = True
+                        replayed = True
+                        stats.replayed_events += 1
+                    else:
+                        runtime.replay_cursor = None  # caught up: go live
+                if not replayed:
+                    try:
+                        alive = runtime.payload.next_tuple(runtime.collector)
+                    except Exception as exc:
+                        runtime.collector.drain()
+                        if recovery_on:
+                            recover_all(time_now, f"spout exception: {exc}")
+                            continue
+                        raise task_failure(runtime, exc) from exc
+                    outputs = runtime.collector.drain()
+                    if recovery_on and outputs:
+                        runtime.emit_log.extend(outputs)
                 cost = sum(
                     self.cost_model.spout_cost(runtime.component, e) for e in outputs
                 )
@@ -693,16 +1200,42 @@ class Simulator:
                 finish = start + cost
                 finish_processing(runtime, finish)
                 makespan = max(makespan, finish)
-                for event in outputs:
-                    input_all += 1
-                    if isinstance(event, KV):
-                        input_data += 1
-                    elif isinstance(event, Marker):
-                        marker_emit_times.setdefault(event.timestamp, finish)
-                        if monitors_on:
-                            monitors.on_source_marker(
-                                runtime.component, event.timestamp, finish
-                            )
+                if replayed:
+                    for event in outputs:
+                        if isinstance(event, Marker):
+                            ts = event.timestamp
+                            runtime.last_marker = ts
+                            if checkpoint_epoch(ts):
+                                record_snapshot(
+                                    task_key, ts,
+                                    {"log_pos": runtime.replay_cursor},
+                                )
+                else:
+                    emitted_before = (
+                        len(runtime.emit_log) - len(outputs)
+                        if recovery_on else 0
+                    )
+                    for position, event in enumerate(outputs):
+                        input_all += 1
+                        if isinstance(event, KV):
+                            input_data += 1
+                        elif isinstance(event, Marker):
+                            ts = event.timestamp
+                            marker_emit_times.setdefault(ts, finish)
+                            if monitors_on:
+                                monitors.on_source_marker(
+                                    runtime.component, ts, finish
+                                )
+                            if recovery_on:
+                                if ts not in epoch_index:
+                                    epoch_index[ts] = len(epoch_index)
+                                runtime.last_marker = ts
+                                if checkpoint_epoch(ts):
+                                    record_snapshot(
+                                        task_key, ts,
+                                        {"log_pos":
+                                         emitted_before + position + 1},
+                                    )
                 if tm_on and outputs:
                     tracer.exec_span(
                         runtime.component, runtime.index, runtime.machine,
@@ -717,38 +1250,25 @@ class Simulator:
                     schedule(finish, "spout", task_key)
                 continue
 
-            if action == "deliver":
+            if action == "rdeliver":
+                # Reliability layer: resequence, filter duplicates, then
+                # deliver every released tuple in order.
                 assert tup is not None
-                if runtime.component in sink_deliveries:
-                    sink_deliveries[runtime.component].append(
-                        (time_now, runtime.index, tup)
+                seq_no, real_tup = tup
+                link = (real_tup.channel(), task_key)
+                resequencer = link_reseq.get(link)
+                if resequencer is None:
+                    resequencer = link_reseq[link] = Resequencer()
+                for released_tup, released_remote in resequencer.offer(
+                    seq_no, (real_tup, remote)
+                ):
+                    deliver_one(
+                        task_key, runtime, released_tup, released_remote,
+                        time_now,
                     )
-                runtime.queue.append((tup, remote))
-                if obs_on:
-                    depth = len(runtime.queue)
-                    if monitors_on:
-                        monitors.on_delivery(
-                            runtime.component, runtime.index, tup, time_now,
-                            depth,
-                        )
-                    if tm_on:
-                        tracer.sample(
-                            "queue_depth", runtime.component, runtime.index,
-                            time_now, depth,
-                        )
-                        if metrics_on:
-                            metrics.gauge(
-                                "queue_depth", component=runtime.component,
-                                task=runtime.index,
-                            ).set_max(depth)
-                        if (
-                            task_key in frontend_hooks
-                            and isinstance(tup.event, Marker)
-                        ):
-                            tracer.epoch_arrival(
-                                runtime.component, runtime.index,
-                                runtime.machine, tup.event.timestamp, time_now,
-                            )
+            elif action == "deliver":
+                assert tup is not None
+                deliver_one(task_key, runtime, tup, remote, time_now)
             else:  # "done": the running execution finished
                 runtime.running = False
             maybe_start(runtime, time_now)
@@ -763,30 +1283,9 @@ class Simulator:
                         "machine_busy_seconds", machine=machine.machine_id
                     ).set(machine_busy.get(machine.machine_id, 0.0))
 
-        sink_events = {
-            name: [t.event for _, _, t in deliveries]
-            for name, deliveries in sink_deliveries.items()
-        }
-        sink_tuples = {
-            name: [t for _, _, t in deliveries]
-            for name, deliveries in sink_deliveries.items()
-        }
-        sink_delivery_times = {
-            name: [time for time, _, _ in deliveries]
-            for name, deliveries in sink_deliveries.items()
-        }
-        return SimulationReport(
-            makespan=makespan,
-            input_data_tuples=input_data,
-            input_all_tuples=input_all,
-            processed=processed,
-            emitted=emitted,
-            sink_events=sink_events,
-            sink_tuples=sink_tuples,
-            sink_delivery_times=sink_delivery_times,
-            marker_emit_times=marker_emit_times,
-            machine_busy=machine_busy,
-            machine_cores={
-                m.machine_id: m.cores for m in self.cluster.machines
-            },
-        )
+        if recovery_on:
+            for resequencer in link_reseq.values():
+                stats.duplicates_filtered += resequencer.duplicates
+                resequencer.duplicates = 0
+
+        return build_report()

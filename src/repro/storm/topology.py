@@ -12,6 +12,7 @@ compare delivered traces.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -90,6 +91,19 @@ class Bolt:
     def execute(self, state: Any, tup: StormTuple, collector: OutputCollector) -> None:
         raise NotImplementedError
 
+    def snapshot_state(self, state: Any) -> Any:
+        """Capture per-task state for an epoch-aligned checkpoint.
+
+        The default deep copy is always correct; bolts with structured
+        state override it (see :class:`~repro.compiler.glue.CompiledBolt`).
+        """
+        return copy.deepcopy(state)
+
+    def restore_state(self, snapshot: Any) -> Any:
+        """Rebuild per-task state from a :meth:`snapshot_state` result;
+        the snapshot must survive for possible later restores."""
+        return copy.deepcopy(snapshot)
+
 
 class CaptureBolt(Bolt):
     """Sink bolt recording every received event (and its provenance).
@@ -110,6 +124,15 @@ class CaptureBolt(Bolt):
 
     def execute(self, state, tup: StormTuple, collector: OutputCollector) -> None:
         self.received.append(tup)
+
+    def snapshot_state(self, state: Any) -> Any:
+        # The capture list lives on the instance (there is one task); a
+        # checkpoint is just its length, and restore truncates back.
+        return {"received": len(self.received)}
+
+    def restore_state(self, snapshot: Any) -> Any:
+        del self.received[snapshot["received"]:]
+        return None
 
     def events(self) -> List[Event]:
         """The received events, in arrival order."""

@@ -4,7 +4,7 @@ the simulator's latency accounting."""
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, TaskFailureError
 from repro.compiler import compile_dag
 from repro.compiler.compile import SourceSpec, source_from_events
 from repro.dag import TransductionDAG
@@ -43,7 +43,9 @@ class ExplodingBolt(Bolt):
 
 class TestOperatorFailures:
     def test_operator_exception_surfaces(self):
-        """A bug in user code must propagate, not be swallowed."""
+        """A bug in user code must propagate with its failure context:
+        which task, on which machine, at which sealed epoch — plus the
+        partial report accumulated up to the failure."""
         builder = TopologyBuilder("boom")
         builder.set_spout(
             "src", IteratorSpout(lambda i, n: iter([KV("a", j) for j in range(10)])), 1
@@ -53,8 +55,15 @@ class TestOperatorFailures:
         )
         sink = CaptureBolt()
         builder.set_bolt("sink", sink, 1).grouping("boom", MarkerAwareGrouping("global"))
-        with pytest.raises(RuntimeError, match="injected operator failure"):
+        with pytest.raises(TaskFailureError, match="injected operator failure") as info:
             LocalRunner(builder.build()).run()
+        failure = info.value
+        assert isinstance(failure, SimulationError)  # backwards compatible
+        assert failure.component == "boom"
+        assert failure.task_index == 0
+        assert failure.machine is not None
+        assert failure.report is not None
+        assert failure.report.input_all_tuples > 0
 
 
 class TestMarkerProtocolViolations:
