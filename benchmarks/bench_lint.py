@@ -1,0 +1,77 @@
+"""Lint wall-clock budget: the full-repo static analysis must stay
+cheap enough to run on every CI push.
+
+Times ``analyze_paths`` over the same paths the CI job lints
+(``src`` + ``examples``, static rules plus the targeted monoid
+cross-confirmation) and over the deliberately buggy corpus, and writes
+``BENCH_lint.json``.
+
+Budget: < 10 s for the full repo (in practice well under 1 s).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.bench.reporting import emit_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ROUNDS = 3
+FULL_REPO_BUDGET_S = 10.0
+
+
+def _timed(paths, **kwargs):
+    """Min-of-ROUNDS wall clock plus the last report."""
+    best = float("inf")
+    report = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        report = analyze_paths(paths, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def test_lint_full_repo(benchmark):
+    paths = [REPO_ROOT / "src", REPO_ROOT / "examples"]
+    n_files = sum(len(list(p.rglob("*.py"))) for p in paths)
+
+    elapsed, report = _timed(paths)
+    corpus_elapsed, corpus_report = _timed(
+        [REPO_ROOT / "tests" / "analysis_corpus"]
+    )
+
+    print()
+    print(f"repro lint (static + monoid cross-confirmation, min of {ROUNDS}):")
+    print(f"  src + examples   : {elapsed * 1e3:8.1f} ms "
+          f"({n_files} files, {len(report.findings)} findings)")
+    print(f"  analysis corpus  : {corpus_elapsed * 1e3:8.1f} ms "
+          f"({len(corpus_report.findings)} findings)")
+
+    # The repo itself stays clean; the corpus stays dirty.
+    assert report.findings == [], report.render("text")
+    assert corpus_report.errors(), "the corpus must keep real findings"
+    assert elapsed < FULL_REPO_BUDGET_S, (
+        f"full-repo lint took {elapsed:.2f}s, budget {FULL_REPO_BUDGET_S}s"
+    )
+
+    emit_bench_json(
+        "BENCH_lint.json",
+        {
+            "full_repo": {
+                "seconds": round(elapsed, 4),
+                "files": n_files,
+                "findings": len(report.findings),
+                "budget_seconds": FULL_REPO_BUDGET_S,
+            },
+            "corpus": {
+                "seconds": round(corpus_elapsed, 4),
+                "findings": len(corpus_report.findings),
+            },
+        },
+    )
+
+    benchmark.extra_info["full_repo_seconds"] = round(elapsed, 4)
+    benchmark.extra_info["corpus_seconds"] = round(corpus_elapsed, 4)

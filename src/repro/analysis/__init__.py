@@ -1,0 +1,46 @@
+"""Static consistency analyzer for data-trace-typed pipelines.
+
+An AST- and DAG-level linter for the side conditions Theorem 4.2
+assumes but Python cannot enforce: purity of template callbacks
+(DT1xx), commutativity of ``combine`` and order-sensitivity hazards
+(DT2xx), keyed-state locality and key preservation (DT3xx), snapshot
+aliasing (DT4xx), DAG-structure rules (DT5xx), plus dynamic witnesses
+from sampled validation (DT9xx).
+
+Entry points:
+
+- :func:`repro.analysis.driver.analyze_paths` — lint files/dirs;
+- :func:`repro.analysis.rules_dag.analyze_dag` — lint a built DAG;
+- :func:`repro.analysis.registry.explain` — the ``--explain`` text;
+- ``repro lint`` — the CLI front end.
+"""
+
+from repro.analysis.findings import ERROR, WARNING, Finding, Report
+from repro.analysis.registry import RULES, all_codes, explain, get_rule
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "Report",
+    "RULES",
+    "all_codes",
+    "explain",
+    "get_rule",
+    "analyze_paths",
+    "analyze_file",
+    "analyze_source",
+    "analyze_dag",
+]
+
+
+def __getattr__(name):
+    # Driver functions are imported lazily: repro.analysis.driver pulls
+    # in the rule modules, which some embedders may not need just to
+    # construct Finding objects.
+    if name in ("analyze_paths", "analyze_file", "analyze_source",
+                "analyze_dag"):
+        from repro.analysis import driver
+
+        return getattr(driver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

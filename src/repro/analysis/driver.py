@@ -1,0 +1,393 @@
+"""The analyzer driver: files in, one merged report out.
+
+``analyze_source``/``analyze_file`` run the static AST rules on one
+module; ``analyze_paths`` walks files and directories, applies inline
+suppressions, optionally cross-confirms flagged monoids dynamically
+(``check_monoid_laws`` on DT2xx-flagged classes only), and with
+``dynamic=True`` runs the full sampled-shuffle validation of
+``validate_operator_findings`` on every template class it can
+instantiate.  ``analyze_dag`` is re-exported from
+:mod:`repro.analysis.rules_dag` for graph-level checks.
+
+Suppression syntax (same line, or a standalone comment covering the
+next line)::
+
+    risky_line()          # repro: ignore[DT203] -- why it is safe
+    # repro: ignore[DT402] -- elements are immutable tuples
+    return list(state)
+
+A suppression that matches no finding is itself reported as DT001.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import inspect
+import io
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis import (
+    rules_keyed,
+    rules_order,
+    rules_purity,
+    rules_snapshot,
+)
+from repro.analysis.astutils import ScannedClass, scan_module
+from repro.analysis.findings import Finding, Report, filter_findings
+from repro.analysis.registry import get_rule
+from repro.analysis.rules_dag import analyze_dag
+
+__all__ = [
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_dag",
+    "Report",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+_RULE_MODULES = (rules_purity, rules_order, rules_keyed, rules_snapshot)
+
+
+@dataclass
+class _Suppression:
+    line: int  # the line the comment sits on
+    target: int  # the line it covers
+    codes: Tuple[str, ...]
+    used: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.line == self.target and finding.code in self.codes
+
+
+@dataclass
+class _FileResult:
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    classes: List[ScannedClass] = field(default_factory=list)
+    suppressions: List[_Suppression] = field(default_factory=list)
+
+
+def _parse_suppressions(source: str) -> List[_Suppression]:
+    """Find ``# repro: ignore[...]`` comments via the tokenizer.
+
+    Tokenizing (rather than line-regexing) keeps suppression examples
+    inside docstrings and string literals from being treated as real
+    suppressions.
+    """
+    out: List[_Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return out  # the parser will report DT002 separately
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if not match:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+        lineno = tok.start[0]
+        # A comment-only line covers the next line; a trailing comment
+        # covers its own line.
+        before = tok.line[: tok.start[1]]
+        target = lineno + 1 if before.strip() == "" else lineno
+        out.append(_Suppression(line=lineno, target=target, codes=codes))
+    return out
+
+
+def _analyze_module(source: str, path: str) -> _FileResult:
+    result = _FileResult(path=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            get_rule("DT002").finding(
+                f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+            )
+        )
+        return result
+    result.classes = scan_module(tree)
+    for cls in result.classes:
+        for module in _RULE_MODULES:
+            result.findings.extend(module.check_class(cls, path))
+    result.suppressions = _parse_suppressions(source)
+    return result
+
+
+def _apply_suppressions(
+    result: _FileResult, *, dynamic_ran: bool
+) -> List[Finding]:
+    kept: List[Finding] = []
+    for finding in result.findings:
+        suppressed = False
+        for supp in result.suppressions:
+            if supp.covers(finding):
+                supp.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+    for supp in result.suppressions:
+        if supp.used:
+            continue
+        # DT9xx suppressions are only judged when dynamic checks ran.
+        if not dynamic_ran and all(c.startswith("DT9") for c in supp.codes):
+            continue
+        kept.append(
+            get_rule("DT001").finding(
+                f"suppression for {', '.join(supp.codes)} matches no finding",
+                path=result.path,
+                line=supp.line,
+            )
+        )
+    return kept
+
+
+def analyze_source(
+    source: str, path: str = "<string>", *, suppress: bool = True
+) -> List[Finding]:
+    """Static findings for one module's source text."""
+    result = _analyze_module(source, path)
+    if not suppress:
+        return result.findings
+    return _apply_suppressions(result, dynamic_ran=False)
+
+
+def analyze_file(path) -> List[Finding]:
+    """Static findings (with suppressions applied) for one file."""
+    p = Path(path)
+    result = _analyze_module(p.read_text(encoding="utf-8"), str(p))
+    return _apply_suppressions(result, dynamic_ran=False)
+
+
+def _iter_python_files(paths: Sequence) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in f.parts
+                ):
+                    continue
+                files.append(f)
+        elif p.suffix == ".py":
+            files.append(p)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {p}")
+    # de-duplicate while keeping order
+    seen: Set[Path] = set()
+    unique: List[Path] = []
+    for f in files:
+        r = f.resolve()
+        if r not in seen:
+            seen.add(r)
+            unique.append(f)
+    return unique
+
+
+def analyze_paths(
+    paths: Sequence,
+    *,
+    dynamic: bool = False,
+    confirm_monoids: bool = True,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    shuffles: int = 10,
+    seed: int = 0,
+) -> Report:
+    """Analyze files/directories; return one merged :class:`Report`.
+
+    ``confirm_monoids`` (on by default) imports only the files whose
+    classes drew DT2xx findings and runs ``check_monoid_laws`` on those
+    classes — a concrete counterexample upgrades the heuristic to a
+    DT901 witness; passing samples annotate the static finding.  With
+    ``dynamic=True`` every template class is validated
+    (``validate_operator_findings``), adding DT901/DT902/DT903.
+    """
+    findings: List[Finding] = []
+    for file_path in _iter_python_files(paths):
+        result = _analyze_module(
+            file_path.read_text(encoding="utf-8"), str(file_path)
+        )
+        if dynamic:
+            result.findings.extend(
+                _dynamic_findings(result, shuffles=shuffles, seed=seed)
+            )
+        elif confirm_monoids:
+            _confirm_flagged_monoids(result)
+        findings.extend(_apply_suppressions(result, dynamic_ran=dynamic))
+    return Report(filter_findings(findings, select=select, ignore=ignore))
+
+
+# ----------------------------------------------------------------------
+# Dynamic confirmation
+# ----------------------------------------------------------------------
+
+_import_counter = 0
+
+
+def _import_module(path: str):
+    """Import a file under a unique private name (never cached in place
+    of the real module)."""
+    global _import_counter
+    _import_counter += 1
+    name = f"_repro_lint_target_{_import_counter}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(name, None)
+        raise
+    return module
+
+
+class _Unconstructible(Exception):
+    """The class requires constructor arguments; not a defect."""
+
+
+def _instantiate(module, cls_name: str):
+    cls = getattr(module, cls_name, None)
+    if cls is None:
+        raise TypeError(f"class {cls_name} is not importable at module level")
+    try:
+        signature = inspect.signature(cls)
+    except (TypeError, ValueError):
+        signature = None
+    if signature is not None and any(
+        p.default is inspect.Parameter.empty
+        and p.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+        for p in signature.parameters.values()
+    ):
+        raise _Unconstructible(cls_name)
+    return cls()
+
+
+def _confirm_flagged_monoids(result: _FileResult) -> None:
+    """Run check_monoid_laws on classes that drew DT2xx findings.
+
+    A concrete law violation adds a DT901 witness; laws passing on the
+    samples annotate the static finding (it stays — sampled laws can
+    miss what the heuristic saw).  Files that cannot be imported or
+    classes that cannot be zero-arg instantiated are skipped silently:
+    the static verdict stands on its own.
+    """
+    from repro.operators.keyed_unordered import OpKeyedUnordered
+    from repro.operators.sampling import default_sample_events
+    from repro.operators.validate import check_monoid_laws
+
+    flagged = {
+        f.symbol.split(".")[0]
+        for f in result.findings
+        if f.code.startswith("DT2") and f.symbol
+    }
+    flagged_classes = [c for c in result.classes if c.name in flagged]
+    if not flagged_classes:
+        return
+    try:
+        module = _import_module(result.path)
+    except BaseException:
+        return
+    for cls in flagged_classes:
+        try:
+            operator = _instantiate(module, cls.name)
+        except BaseException:
+            continue
+        if not isinstance(operator, OpKeyedUnordered):
+            continue
+        try:
+            check_monoid_laws(operator, default_sample_events())
+        except Exception as exc:
+            result.findings.append(
+                get_rule("DT901").finding(
+                    f"{exc} (dynamic confirmation of the static DT2xx "
+                    "finding)",
+                    path=result.path,
+                    line=cls.node.lineno,
+                    symbol=cls.name,
+                )
+            )
+        else:
+            result.findings = [
+                f.with_note("monoid laws passed on sampled aggregates; "
+                            "heuristic finding stands")
+                if f.code == "DT201" and f.symbol.startswith(cls.name + ".")
+                else f
+                for f in result.findings
+            ]
+
+
+def _dynamic_findings(
+    result: _FileResult, *, shuffles: int, seed: int
+) -> List[Finding]:
+    """validate_operator_findings for every template class in the file."""
+    from repro.analysis import astutils
+    from repro.operators.validate import validate_operator_findings
+
+    targets = [
+        c for c in result.classes if c.kind != astutils.GENERIC
+    ]
+    if not targets:
+        return []
+    try:
+        module = _import_module(result.path)
+    except BaseException as exc:
+        return [
+            get_rule("DT903").finding(
+                f"file could not be imported for dynamic validation: "
+                f"{exc!r}",
+                path=result.path,
+            )
+        ]
+    findings: List[Finding] = []
+    for cls in targets:
+        try:
+            operator = _instantiate(module, cls.name)
+        except _Unconstructible:
+            # Factory-style classes (required ctor args) cannot be
+            # validated generically; that is not a defect.
+            continue
+        except BaseException as exc:
+            findings.append(
+                get_rule("DT903").finding(
+                    f"{cls.name} could not be instantiated for dynamic "
+                    f"validation: {exc!r}",
+                    path=result.path,
+                    line=cls.node.lineno,
+                    symbol=cls.name,
+                )
+            )
+            continue
+        findings.extend(
+            validate_operator_findings(
+                operator,
+                shuffles=shuffles,
+                seed=seed,
+                path=result.path,
+                line=cls.node.lineno,
+                symbol=cls.name,
+            )
+        )
+    return findings

@@ -1,0 +1,170 @@
+"""The findings model: the shared diagnostic currency of the analyzer.
+
+Every check in :mod:`repro.analysis` — static AST rules, DAG-structure
+rules, and the dynamic witnesses of
+:func:`repro.operators.validate.validate_operator_findings` — reports
+through one :class:`Finding` shape, so a single ``repro lint`` run can
+mix them in one report and CI can gate on them uniformly.
+
+Codes are stable and grouped by family:
+
+- ``DT0xx`` — analyzer meta (unused suppression, syntax error);
+- ``DT1xx`` — purity of template callbacks (Theorem 4.2's "pure
+  function" side conditions);
+- ``DT2xx`` — commutativity of ``combine`` and order-sensitivity
+  hazards (the commutative-monoid side condition of Table 1);
+- ``DT3xx`` — keyed-state locality and the ``OpKeyedOrdered``
+  key-preservation restriction;
+- ``DT4xx`` — snapshot aliasing (checkpoint independence, the PR 4
+  recovery contract);
+- ``DT5xx`` — DAG-level rules (Section 2's RR hazard, silently
+  defaulted edge kinds, Theorem 4.3 rewrite side conditions);
+- ``DT9xx`` — dynamic witnesses (sampled monoid laws and Definition
+  3.5 shuffle consistency).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Iterable, List, Sequence
+
+#: Severity levels, most severe first.
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation at a concrete location.
+
+    ``path``/``line``/``col`` locate the finding (``col`` is 1-based for
+    display, like compilers print it); ``symbol`` names the enclosing
+    ``Class.method`` or DAG vertex; ``hint`` is a one-line fix
+    suggestion and ``clause`` the paper clause the rule enforces.
+    """
+
+    code: str
+    message: str
+    path: str = ""
+    line: int = 0
+    col: int = 0
+    symbol: str = ""
+    severity: str = ERROR
+    hint: str = ""
+    clause: str = ""
+
+    def location(self) -> str:
+        spot = self.path or "<unknown>"
+        if self.line:
+            spot += f":{self.line}"
+            if self.col:
+                spot += f":{self.col}"
+        return spot
+
+    def format_text(self) -> str:
+        where = f" [{self.symbol}]" if self.symbol else ""
+        hint = f"\n    hint: {self.hint}" if self.hint else ""
+        clause = f"\n    enforces: {self.clause}" if self.clause else ""
+        return (
+            f"{self.location()}: {self.severity} {self.code}{where}: "
+            f"{self.message}{hint}{clause}"
+        )
+
+    def format_github(self) -> str:
+        """One GitHub Actions workflow-command annotation line."""
+        level = "error" if self.severity == ERROR else "warning"
+        message = self.message
+        if self.hint:
+            message += f" (hint: {self.hint})"
+        # Workflow commands are newline-delimited; escape per the spec.
+        message = (
+            message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+        return (
+            f"::{level} file={self.path},line={self.line or 1},"
+            f"col={self.col or 1},title={self.code}::{message}"
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def with_note(self, note: str) -> "Finding":
+        """A copy of this finding with ``note`` appended to the message."""
+        return replace(self, message=f"{self.message} [{note}]")
+
+    def sort_key(self):
+        return (
+            self.path,
+            self.line,
+            self.col,
+            _SEVERITY_RANK.get(self.severity, 9),
+            self.code,
+        )
+
+
+@dataclass
+class Report:
+    """A batch of findings plus the rendering/exit-code policy."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def sorted(self) -> List[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean; 1 when errors (or, with ``strict``, warnings)."""
+        if self.errors():
+            return 1
+        if strict and self.warnings():
+            return 1
+        return 0
+
+    def render(self, fmt: str = "text") -> str:
+        ordered = self.sorted()
+        if fmt == "json":
+            return json.dumps(
+                {
+                    "findings": [f.to_dict() for f in ordered],
+                    "errors": len(self.errors()),
+                    "warnings": len(self.warnings()),
+                },
+                indent=2,
+            )
+        if fmt == "github":
+            return "\n".join(f.format_github() for f in ordered)
+        lines = [f.format_text() for f in ordered]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        n_err, n_warn = len(self.errors()), len(self.warnings())
+        if not self.findings:
+            return "no findings"
+        return f"{n_err} error(s), {n_warn} warning(s)"
+
+
+def filter_findings(
+    findings: Iterable[Finding],
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> List[Finding]:
+    """Keep findings whose code matches ``select`` prefixes (all, when
+    empty) and matches no ``ignore`` prefix.  Prefix match supports
+    whole families: ``--select DT2`` keeps ``DT201``..``DT204``."""
+    out = []
+    for finding in findings:
+        if select and not any(finding.code.startswith(p) for p in select):
+            continue
+        if ignore and any(finding.code.startswith(p) for p in ignore):
+            continue
+        out.append(finding)
+    return out

@@ -1,0 +1,550 @@
+"""The rule registry: one :class:`Rule` per stable finding code.
+
+The registry is the single source of truth for the rule catalog —
+``repro lint --explain DT203`` prints from here, the docs drift-check
+test asserts every code here is documented in
+``docs/static_analysis.md``, and rule modules pull severity/hint/clause
+from here so a finding can never disagree with its catalog entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from textwrap import dedent, indent
+from typing import Dict, List, Optional
+
+from repro.analysis.findings import ERROR, WARNING, Finding
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Catalog entry for one finding code."""
+
+    code: str
+    title: str
+    severity: str
+    clause: str
+    hint: str
+    rationale: str
+    example: str
+
+    def finding(
+        self,
+        message: str,
+        *,
+        path: str = "",
+        line: int = 0,
+        col: int = 0,
+        symbol: str = "",
+        hint: Optional[str] = None,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        """Build a Finding for this rule, inheriting catalog metadata."""
+        return Finding(
+            code=self.code,
+            message=message,
+            path=path,
+            line=line,
+            col=col,
+            symbol=symbol,
+            severity=self.severity if severity is None else severity,
+            hint=self.hint if hint is None else hint,
+            clause=self.clause,
+        )
+
+    def explain(self) -> str:
+        example = indent(dedent(self.example).strip("\n"), "    ")
+        return dedent(
+            f"""\
+            {self.code}: {self.title}
+            severity: {self.severity}
+            enforces: {self.clause}
+
+            {self.rationale}
+
+            Example (triggers {self.code}):
+            """
+        ) + example + dedent(
+            f"""
+
+            Fix hint: {self.hint}
+            Suppress (with a justification comment) via:
+                ...offending line...  # repro: ignore[{self.code}] -- why it is safe
+            """
+        )
+
+
+_RULES: List[Rule] = [
+    # ------------------------------------------------------------------
+    # DT0xx — analyzer meta
+    # ------------------------------------------------------------------
+    Rule(
+        code="DT001",
+        title="unused suppression",
+        severity=WARNING,
+        clause="analyzer hygiene (suppressions must suppress something)",
+        hint="delete the stale `# repro: ignore[...]` comment",
+        rationale=(
+            "A `# repro: ignore[DTxxx]` comment that matches no finding is "
+            "dead weight: either the bug it excused was fixed (delete the "
+            "comment) or the code moved and the suppression now shadows a "
+            "future real finding on the wrong line."
+        ),
+        example="    x = 1  # repro: ignore[DT203] -- nothing here iterates a set",
+    ),
+    Rule(
+        code="DT002",
+        title="file could not be parsed",
+        severity=ERROR,
+        clause="analyzer precondition",
+        hint="fix the syntax error so the file can be analyzed",
+        rationale=(
+            "The analyzer works on the AST; a file that does not parse "
+            "cannot be certified and is reported rather than silently "
+            "skipped."
+        ),
+        example="    def on_item(self, key, value, emit)  # missing colon",
+    ),
+    # ------------------------------------------------------------------
+    # DT1xx — purity of template callbacks
+    # ------------------------------------------------------------------
+    Rule(
+        code="DT101",
+        title="template callback writes operator instance state",
+        severity=ERROR,
+        clause="Theorem 4.2 purity: template callbacks must be pure functions of their arguments",
+        hint="move the mutable state into the template's explicit state (init/update_state) so snapshots and parallel replicas see it",
+        rationale=(
+            "Table 1 templates thread *all* evolving state through explicit "
+            "parameters (the monoid aggregate, the per-key state, the "
+            "sliding window).  Writing `self.attr` inside on_item/combine/"
+            "fold_in hides state from the runtime: it is not checkpointed "
+            "by snapshot_state, not rolled back on recovery, and is "
+            "duplicated per replica under Theorem 4.3 parallelization — "
+            "each replica sees only its shard's history, so answers drift."
+        ),
+        example=(
+            "    class Counter(OpStateless):\n"
+            "        def on_item(self, key, value, emit):\n"
+            "            self.total += value      # DT101\n"
+            "            emit(key, self.total)"
+        ),
+    ),
+    Rule(
+        code="DT102",
+        title="template callback uses global/nonlocal declarations",
+        severity=ERROR,
+        clause="Theorem 4.2 purity: no out-of-band state shared across items or replicas",
+        hint="pass the value in via __init__ (read-only) or model it as template state",
+        rationale=(
+            "A `global`/`nonlocal` statement inside a template callback "
+            "declares intent to rebind state that outlives the call.  Such "
+            "state is shared across keys and replicas and invisible to "
+            "checkpointing, so results depend on arrival order and on the "
+            "parallelization chosen — exactly what data-trace types are "
+            "supposed to rule out."
+        ),
+        example=(
+            "    def on_item(self, key, value, emit):\n"
+            "        global SEEN          # DT102\n"
+            "        SEEN += 1"
+        ),
+    ),
+    Rule(
+        code="DT103",
+        title="nondeterministic call in template callback",
+        severity=ERROR,
+        clause="Definition 3.5 consistency: output must be a function of the input data trace",
+        hint="derive the value from the input (e.g. event timestamps), or seed an explicit RNG in __init__ and model its state",
+        rationale=(
+            "Calls like random.random(), time.time(), uuid.uuid4(), or id() "
+            "make the operator's output depend on wall-clock, process "
+            "identity, or RNG state rather than on the input trace.  Two "
+            "runs over the same data trace then disagree, so no "
+            "consistency argument (Definition 3.5) can hold, and recovery "
+            "replay after a fault produces different answers than the "
+            "original run."
+        ),
+        example=(
+            "    def on_item(self, key, value, emit):\n"
+            "        emit(key, (value, time.time()))   # DT103"
+        ),
+    ),
+    Rule(
+        code="DT104",
+        title="template callback mutates module-level or closed-over mutable",
+        severity=ERROR,
+        clause="Theorem 4.2 purity: no out-of-band state shared across items or replicas",
+        hint="make the shared object read-only, or model it as explicit template state",
+        rationale=(
+            "Appending to a module-level list or updating a closed-over "
+            "dict is a write to state the runtime cannot see: it is shared "
+            "across replicas, never checkpointed, and replayed twice after "
+            "recovery.  Reading shared immutable configuration is fine; "
+            "mutation is the hazard."
+        ),
+        example=(
+            "    SEEN = []\n"
+            "    class Tap(OpStateless):\n"
+            "        def on_item(self, key, value, emit):\n"
+            "            SEEN.append(value)    # DT104\n"
+            "            emit(key, value)"
+        ),
+    ),
+    Rule(
+        code="DT105",
+        title="pure template function mutates its argument",
+        severity=WARNING,
+        clause="Table 3 runtime contract: fold_in/combine/update_state arguments may be aliased",
+        hint="build and return a new value instead of mutating the argument in place",
+        rationale=(
+            "The Table 3 runtime (and the batched kernels of the epoch "
+            "engine) may pass the same aggregate object into combine or "
+            "update_state more than once, and snapshot_state may hold a "
+            "reference to it across a checkpoint.  In-place mutation of an "
+            "argument then corrupts a value another code path still owns."
+        ),
+        example=(
+            "    def combine(self, x, y):\n"
+            "        x.update(y)      # DT105 (also DT204)\n"
+            "        return x"
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # DT2xx — commutativity and order-sensitivity
+    # ------------------------------------------------------------------
+    Rule(
+        code="DT201",
+        title="combine uses a non-commutative operation on its arguments",
+        severity=ERROR,
+        clause="Table 1 OpKeyedUnordered: (identity, combine) must form a commutative monoid",
+        hint="use a commutative aggregate (sum/min/max/set union) or declare the input ordered and use OpKeyedOrdered",
+        rationale=(
+            "OpKeyedUnordered consumes U-typed (unordered) streams, so the "
+            "runtime folds items in arrival order — which the type says is "
+            "arbitrary.  Consistency (Theorem 4.2) therefore requires "
+            "combine to be commutative and associative.  Subtraction, "
+            "division, string/list concatenation and similar operations "
+            "make the aggregate depend on arrival order, producing "
+            "run-to-run nondeterminism that only shows up under shuffles."
+        ),
+        example=(
+            "    def combine(self, x, y):\n"
+            "        return x - y      # DT201: a-b != b-a"
+        ),
+    ),
+    Rule(
+        code="DT202",
+        title="combine folds with reduce/accumulate over an ordered sequence",
+        severity=WARNING,
+        clause="Table 1 OpKeyedUnordered: combine must not depend on element order",
+        hint="verify the folded operation is commutative+associative, or restructure as elementwise combine",
+        rationale=(
+            "functools.reduce and itertools.accumulate apply a binary "
+            "function left-to-right; unless that inner function is itself "
+            "commutative and associative, the result depends on the order "
+            "of the sequence — which on a U-typed input is arrival order.  "
+            "The static analyzer cannot see through the inner callable, so "
+            "this is reported as a warning for dynamic confirmation "
+            "(`repro lint --dynamic`)."
+        ),
+        example=(
+            "    def combine(self, x, y):\n"
+            "        return reduce(lambda a, b: a * 2 + b, [x, y])   # DT202"
+        ),
+    ),
+    Rule(
+        code="DT203",
+        title="unordered-collection iteration order can flow to emitted output",
+        severity=WARNING,
+        clause="Definition 3.5 consistency: output must not depend on set/dict iteration order",
+        hint="sort before iterating (sorted(...)), or emit an order-insensitive aggregate (len/sum/min/max/frozenset)",
+        rationale=(
+            "Iterating a set iterates in hash order, which varies across "
+            "processes (PYTHONHASHSEED); iterating a dict iterates in "
+            "insertion order, which on a U-typed stream is arrival order.  "
+            "If the iteration order reaches emit() or a returned aggregate, "
+            "output differs between runs or between the serial and "
+            "parallelized deployments.  This class of bug is invisible to "
+            "single-process dynamic validation (hash order is stable "
+            "within one process), which is why it is checked statically."
+        ),
+        example=(
+            "    def update_state(self, old, agg):\n"
+            "        order = []\n"
+            "        for tag in agg:          # agg is a dict aggregate\n"
+            "            order.append(tag)    # DT203: insertion order = arrival order\n"
+            "        return tuple(order)"
+        ),
+    ),
+    Rule(
+        code="DT204",
+        title="combine merges dicts by insertion order",
+        severity=WARNING,
+        clause="Table 1 OpKeyedUnordered: combine must be commutative",
+        hint="merge with an order-insensitive policy (e.g. min/max per key) or keep value sets and resolve deterministically",
+        rationale=(
+            "`{**x, **y}` and `d.update(y)` are last-writer-wins merges: "
+            "on overlapping keys the result depends on which argument came "
+            "second, and the merged dict's iteration order records arrival "
+            "order.  Both break commutativity whenever key sets can "
+            "overlap, which the analyzer cannot rule out statically."
+        ),
+        example=(
+            "    def combine(self, x, y):\n"
+            "        merged = dict(x)\n"
+            "        merged.update(y)      # DT204: last writer wins\n"
+            "        return merged"
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # DT3xx — keyed-state locality and key preservation
+    # ------------------------------------------------------------------
+    Rule(
+        code="DT301",
+        title="keyed callback keeps per-key state on the operator instance",
+        severity=ERROR,
+        clause="Theorem 4.3 key-locality: all per-key state must live in the template's keyed state",
+        hint="store through the template's state parameter so HASH parallelization keeps each key's state on one replica",
+        rationale=(
+            "Subscripting `self.something[...]` inside a keyed callback "
+            "builds a private key->state table next to the one the "
+            "template manages.  Under HASH parallelization each replica "
+            "gets its own copy of that table; keys that hash to different "
+            "replicas silently fork their state, and checkpoints miss it "
+            "entirely."
+        ),
+        example=(
+            "    def on_item(self, state, key, value, emit):\n"
+            "        self._totals[key] = self._totals.get(key, 0) + value   # DT301\n"
+            "        emit(key, self._totals[key])\n"
+            "        return state"
+        ),
+    ),
+    Rule(
+        code="DT302",
+        title="keyed state subscripted by something other than the event key",
+        severity=WARNING,
+        clause="Theorem 4.3 key-locality: a keyed operator may only touch the current key's state",
+        hint="restructure so each key's computation reads only its own state (constant field indices are fine)",
+        rationale=(
+            "Indexing the state parameter with a variable that is not the "
+            "current event's key reads (or writes) *another* key's state.  "
+            "That cross-key dependency is exactly what the HASH "
+            "parallelization of Theorem 4.3 assumes away: after splitting, "
+            "the other key's state may live on a different replica and the "
+            "read silently sees a stale or empty value."
+        ),
+        example=(
+            "    def on_item(self, state, key, value, emit):\n"
+            "        other = value[0]\n"
+            "        state[other] += 1      # DT302: not the event key\n"
+            "        return state"
+        ),
+    ),
+    Rule(
+        code="DT303",
+        title="OpKeyedOrdered emits under a different key than the input",
+        severity=ERROR,
+        clause="Table 1 OpKeyedOrdered: key-preserving emissions keep the O output type sound",
+        hint="emit(key, ...) with the input key; to re-key, follow with a stateless rekey stage and a SORT",
+        rationale=(
+            "OpKeyedOrdered's output is O-typed because per-key input "
+            "order is preserved per-key on output.  Emitting under a "
+            "different key forges ordering evidence: the downstream "
+            "consumer believes the new key's items arrive in order, but "
+            "they arrive in the *input* key's order.  The runtime key "
+            "guard raises at execution time; this rule catches it at lint "
+            "time."
+        ),
+        example=(
+            "    def on_item(self, state, key, value, emit):\n"
+            "        emit(value[0], value[1])    # DT303: value[0] is not the input key\n"
+            "        return state"
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # DT4xx — snapshot aliasing and recovery
+    # ------------------------------------------------------------------
+    Rule(
+        code="DT401",
+        title="snapshot/copy/restore returns the live state object",
+        severity=ERROR,
+        clause="epoch-aligned checkpointing: snapshots must be independent of live state",
+        hint="return a copy (copy.deepcopy, or an element-wise rebuild) instead of the argument itself",
+        rationale=(
+            "A checkpoint that aliases the live state is corrupted by the "
+            "very next on_item: after a fault, recovery restores a state "
+            "that already contains post-checkpoint effects, so replayed "
+            "items are applied twice.  This is the exact bug class the "
+            "recovery layer's snapshot round-trip tests exist for; "
+            "returning the argument unchanged is its static signature."
+        ),
+        example=(
+            "    def snapshot_state(self):\n"
+            "        return self._state      # DT401: aliases live state"
+        ),
+    ),
+    Rule(
+        code="DT402",
+        title="snapshot/copy returns a shallow copy of nested mutable state",
+        severity=WARNING,
+        clause="epoch-aligned checkpointing: snapshots must be independent of live state",
+        hint="deep-copy, or suppress with a justification that every element is immutable/scalar",
+        rationale=(
+            "`list(state)`, `dict(state)`, `state.copy()` and friends copy "
+            "one level: if the elements are themselves mutated in place "
+            "(e.g. per-key lists), the checkpoint still aliases them and "
+            "recovery replays against a future state.  When the elements "
+            "are provably immutable (tuples, scalars) a shallow copy is a "
+            "legitimate fast path — suppress with a comment saying so, as "
+            "the built-in operators do."
+        ),
+        example=(
+            "    def copy_state(self, state):\n"
+            "        return list(state)     # DT402: elements may be shared"
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # DT5xx — DAG-level rules
+    # ------------------------------------------------------------------
+    Rule(
+        code="DT500",
+        title="DAG fails data-trace type checking",
+        severity=ERROR,
+        clause="Section 4 typing rules for transduction DAGs",
+        hint="fix the reported edge annotation (or insert a SORT to turn U into O)",
+        rationale=(
+            "typecheck_dag found a hard inconsistency: an operator demands "
+            "an O-typed input on an edge that can only be U, or two "
+            "annotations conflict.  This is the Section 2 bug made "
+            "static — the DAG would compute arrival-order-dependent "
+            "answers."
+        ),
+        example="    dag.connect(rr_split, ordered_op)   # O required, U provided",
+    ),
+    Rule(
+        code="DT501",
+        title="round-robin split upstream of an order-sensitive consumer",
+        severity=ERROR,
+        clause="Section 2 / Theorem 4.3: RR destroys per-key order; only HASH preserves it",
+        hint="use a HASH splitter keyed like the consumer, or insert a SORT before the order-sensitive operator",
+        rationale=(
+            "Round-robin splitting interleaves each key's items across "
+            "replicas, so even a later merge cannot recover per-key order. "
+            "Any OpKeyedOrdered (or other O-input operator) downstream of "
+            "an RR split without an intervening SORT consumes a stream "
+            "whose order the type system can no longer guarantee — the "
+            "motivating bug of the paper's Section 2."
+        ),
+        example=(
+            "    split = dag.add_split(RoundRobin(), upstream=src)\n"
+            "    dag.add_op(Cumulative(), upstream=[split])   # DT501: O input fed by RR"
+        ),
+    ),
+    Rule(
+        code="DT502",
+        title="edge kind could not be inferred and defaults to U",
+        severity=WARNING,
+        clause="Section 4: every edge of a well-typed DAG carries a data-trace type",
+        hint="annotate the edge (edge_types=[...]) or let a typed upstream determine it",
+        rationale=(
+            "When neither an annotation nor inference determines an edge's "
+            "kind, typecheck_dag historically defaulted it to U.  The "
+            "default is sound for U-consumers (O <= U subsumption) but it "
+            "hides missing annotations: a later refactor that starts "
+            "requiring order on that edge fails at runtime instead of at "
+            "lint time.  `typecheck_dag(dag, strict=True)` turns these "
+            "into hard errors."
+        ),
+        example="    dag.connect(a, b)    # no edge_types, no typed upstream: DT502",
+    ),
+    Rule(
+        code="DT503",
+        title="parallelization hint violates a Theorem 4.3 side condition",
+        severity=ERROR,
+        clause="Theorem 4.3: vertex parallelization requires a single consumer per parallelized vertex",
+        hint="drop the parallelism hint on this vertex, or restructure so it has exactly one consumer",
+        rationale=(
+            "The Theorem 4.3 rewrite replaces a vertex with split -> "
+            "replicas -> merge; with more than one consumer the merge "
+            "cannot be placed without duplicating or re-routing edges, and "
+            "the equality proof of the rewrite no longer applies.  "
+            "plan_parallelism avoids such vertices; a hand-written hint on "
+            "one is applied unchecked unless this rule gates it."
+        ),
+        example=(
+            "    dag.vertices[op].parallelism = 4   # op feeds two sinks: DT503"
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # DT9xx — dynamic witnesses
+    # ------------------------------------------------------------------
+    Rule(
+        code="DT901",
+        title="dynamic check: monoid laws fail on sampled aggregates",
+        severity=ERROR,
+        clause="Table 1 OpKeyedUnordered: (identity, combine) must form a commutative monoid",
+        hint="fix combine/identity so x+y == y+x and identity is neutral (the witness shows a failing pair)",
+        rationale=(
+            "check_monoid_laws folds sampled event values through the "
+            "operator's own fold_in/combine/identity and compares "
+            "commuted and re-associated evaluations.  A failure is a "
+            "concrete counterexample — not a heuristic — so it is always "
+            "an error, and it confirms (or catches beyond) the static "
+            "DT2xx heuristics."
+        ),
+        example="    combine(x, y) = x - y   ->  witness: combine(1,2) != combine(2,1)",
+    ),
+    Rule(
+        code="DT902",
+        title="dynamic check: output changes under Definition 3.5 block shuffles",
+        severity=ERROR,
+        clause="Definition 3.5: consistency under reordering within marker blocks",
+        hint="remove the arrival-order dependence the witness demonstrates (or declare the input ordered)",
+        rationale=(
+            "check_consistency_on runs the operator over the same data "
+            "trace with items shuffled within marker blocks — re-orderings "
+            "the U type declares equivalent — and compares canonicalized "
+            "outputs.  Any difference is a concrete consistency violation: "
+            "the operator computes a function of the arrival sequence, not "
+            "of the data trace."
+        ),
+        example="    emit(key, running_total)   # running order differs per shuffle",
+    ),
+    Rule(
+        code="DT903",
+        title="dynamic check could not run to completion",
+        severity=WARNING,
+        clause="dynamic validation precondition",
+        hint="make the operator constructible with no arguments (or fix the crash the message reports)",
+        rationale=(
+            "`repro lint --dynamic` instantiates each template operator "
+            "with no arguments and runs sampled checks.  Operators that "
+            "need constructor arguments, or that crash on the sample "
+            "stream, cannot be dynamically certified; the warning reports "
+            "why so the gap is visible rather than silently skipped."
+        ),
+        example="    def __init__(self, models):   # needs an argument: DT903",
+    ),
+]
+
+RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULES}
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return RULES[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule code {code!r}; known codes: {', '.join(sorted(RULES))}"
+        ) from None
+
+
+def explain(code: str) -> str:
+    """The `repro lint --explain CODE` text for one rule."""
+    return get_rule(code).explain()
+
+
+def all_codes() -> List[str]:
+    return sorted(RULES)

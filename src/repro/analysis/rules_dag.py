@@ -1,0 +1,137 @@
+"""DT5xx — DAG-structure rules on a built :class:`TransductionDAG`.
+
+These run on the graph, not on source text, so findings carry the DAG
+and vertex names as their location:
+
+- DT500: the DAG fails :func:`typecheck_dag` outright (hard type error);
+- DT501: a round-robin splitter upstream of an order-sensitive (O
+  input) operator with no SORT in between — the Section 2 bug as a
+  reachability check, reported with the full offending path;
+- DT502: edges whose kind inference fell back to the U default
+  (from :func:`repro.dag.typecheck.typecheck_diagnostics`);
+- DT503: a parallelism hint that violates Theorem 4.3's
+  single-consumer side condition, i.e. :func:`deploy` would raise on
+  it (checked here before the planner applies the rewrite).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import get_rule
+from repro.dag.graph import TransductionDAG, Vertex, VertexKind
+from repro.dag.typecheck import typecheck_diagnostics
+from repro.errors import DagError, TraceTypeError
+
+
+def analyze_dag(dag: TransductionDAG, path: str = "") -> List[Finding]:
+    """All DT5xx findings for one DAG."""
+    path = path or f"<dag:{dag.name}>"
+    findings: List[Finding] = []
+    findings.extend(_check_rr_upstream_of_ordered(dag, path))
+    findings.extend(_check_parallelism_preconditions(dag, path))
+
+    try:
+        _, diagnostics = typecheck_diagnostics(dag)
+    except (TraceTypeError, DagError) as exc:
+        if not any(f.code == "DT501" for f in findings):
+            findings.append(
+                get_rule("DT500").finding(str(exc), path=path, symbol=dag.name)
+            )
+        return findings
+
+    for diag in diagnostics:
+        findings.append(
+            get_rule("DT502").finding(
+                diag.describe(),
+                path=path,
+                symbol=f"{diag.src}->{diag.dst}",
+            )
+        )
+    return findings
+
+
+def _is_sorting_vertex(vertex: Vertex) -> bool:
+    """A SORT-like OP: consumes any kind, (re)establishes O output."""
+    if vertex.kind != VertexKind.OP:
+        return False
+    op = vertex.payload
+    return getattr(op, "input_kind", "U") is None and (
+        getattr(op, "output_kind", None) == "O"
+    )
+
+
+def _check_rr_upstream_of_ordered(
+    dag: TransductionDAG, path: str
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for split in dag.vertices.values():
+        if split.kind != VertexKind.SPLIT:
+            continue
+        if not getattr(split.payload, "requires_unordered", False):
+            continue  # HASH/UNQ preserve per-key order
+        # BFS downstream; a SORT vertex re-establishes order and stops
+        # the hazard along that path.
+        stack = [(split, (split.name,))]
+        seen = set()
+        while stack:
+            vertex, trail = stack.pop()
+            for edge in dag.out_edges(vertex):
+                nxt = dag.vertices[edge.dst]
+                if nxt.vertex_id in seen:
+                    continue
+                seen.add(nxt.vertex_id)
+                if _is_sorting_vertex(nxt):
+                    continue
+                if (
+                    nxt.kind == VertexKind.OP
+                    and getattr(nxt.payload, "input_kind", "U") == "O"
+                ):
+                    findings.append(
+                        get_rule("DT501").finding(
+                            f"round-robin splitter {split.name} reaches "
+                            f"order-sensitive operator {nxt.name} with no "
+                            f"SORT in between "
+                            f"(path: {' -> '.join(trail + (nxt.name,))})",
+                            path=path,
+                            symbol=nxt.name,
+                        )
+                    )
+                    continue
+                stack.append((nxt, trail + (nxt.name,)))
+    return findings
+
+
+def check_parallelism_preconditions(
+    dag: TransductionDAG, path: str = ""
+) -> List[Finding]:
+    """Theorem 4.3 side conditions for every vertex a deploy would split.
+
+    Public entry point used by :meth:`repro.dag.planner.Plan.apply`
+    (``check=True``) to gate a plan before the rewrite is attempted.
+    """
+    return _check_parallelism_preconditions(
+        dag, path or f"<dag:{dag.name}>"
+    )
+
+
+def _check_parallelism_preconditions(
+    dag: TransductionDAG, path: str
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for vertex in dag.vertices.values():
+        if vertex.kind != VertexKind.OP or vertex.parallelism <= 1:
+            continue
+        consumers = dag.out_edges(vertex)
+        if len(consumers) != 1:
+            findings.append(
+                get_rule("DT503").finding(
+                    f"vertex {vertex.name} has parallelism "
+                    f"{vertex.parallelism} but {len(consumers)} consumers; "
+                    "the Theorem 4.3 rewrite requires exactly one",
+                    path=path,
+                    symbol=vertex.name,
+                )
+            )
+    return findings

@@ -1,0 +1,145 @@
+"""DT3xx — keyed-state locality and key preservation.
+
+Theorem 4.3's HASH parallelization of keyed operators is only sound
+when all of a key's state lives in the template-managed keyed state
+(so it travels with the key) and, for ``OpKeyedOrdered``, when every
+emission keeps the input key (so the O output type remains justified).
+These rules catch the static signatures of both violations:
+
+- DT301: a keyed callback subscripting ``self.something[...]`` — a
+  private key->state table next to the one the template manages;
+- DT302: the state parameter subscripted by a variable other than the
+  event key — a cross-key read/write;
+- DT303: ``emit(k, ...)`` in an ``OpKeyedOrdered`` callback where
+  ``k`` is not the input key parameter (the runtime key guard raises
+  at execution time; this is the lint-time version).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis import astutils
+from repro.analysis.astutils import (
+    Callback,
+    ScannedClass,
+    is_self_attribute,
+    self_param,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import get_rule
+
+
+def check_class(cls: ScannedClass, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for cb in cls.callbacks:
+        if cb.role == "snapshot":
+            continue
+        if cb.kind in (astutils.KEYED_UNORDERED, astutils.KEYED_ORDERED,
+                       astutils.SLIDING):
+            findings.extend(_check_state_locality(cb, path))
+        if cb.kind == astutils.KEYED_ORDERED and cb.role == "emitting":
+            findings.extend(_check_key_preservation(cb, path))
+    return findings
+
+
+def _report(cb: Callback, path: str, code: str, node: ast.AST, msg: str) -> Finding:
+    return get_rule(code).finding(
+        msg,
+        path=path,
+        line=node.lineno,
+        col=node.col_offset + 1,
+        symbol=cb.symbol,
+    )
+
+
+def _key_aliases(cb: Callback) -> Set[str]:
+    """The key parameter plus trivial aliases (``k = key``)."""
+    aliases: Set[str] = set()
+    if cb.key:
+        aliases.add(cb.key)
+        for node in ast.walk(cb.node):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in aliases
+            ):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        aliases.add(t.id)
+    return aliases
+
+
+def _check_state_locality(cb: Callback, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    fn = cb.node
+    self_name = self_param(fn)
+    key_names = _key_aliases(cb)
+    state_name = cb.state
+
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Subscript):
+            continue
+        base = node.value
+        # DT301: self.<attr>[...] inside a keyed callback
+        if (
+            self_name is not None
+            and isinstance(base, ast.Attribute)
+            and is_self_attribute(base, self_name)
+        ):
+            # Only when the subscript *looks keyed*: indexing by the key
+            # or another variable.  Constant subscripts on instance
+            # config (e.g. self._table[0]) are not per-key state.
+            if not isinstance(node.slice, ast.Constant):
+                findings.append(_report(
+                    cb, path, "DT301", node,
+                    f"{cb.name}() keeps per-key state on the operator "
+                    f"instance ({ast.unparse(base)}[...])",
+                ))
+            continue
+        # DT302: state[<non-key variable>]
+        if (
+            state_name is not None
+            and isinstance(base, ast.Name)
+            and base.id == state_name
+            and cb.key is not None
+        ):
+            index = node.slice
+            if isinstance(index, ast.Name) and index.id not in key_names:
+                findings.append(_report(
+                    cb, path, "DT302", node,
+                    f"{cb.name}() subscripts the keyed state by "
+                    f"`{index.id}`, which is not the event key "
+                    f"`{cb.key}`",
+                ))
+    return findings
+
+
+def _check_key_preservation(cb: Callback, path: str) -> List[Finding]:
+    """DT303: every emit() in OpKeyedOrdered must pass the input key."""
+    findings: List[Finding] = []
+    if cb.emit is None or cb.key is None:
+        return findings
+    key_names = _key_aliases(cb)
+    for node in ast.walk(cb.node):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == cb.emit
+        ):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Name) and first.id in key_names:
+            continue
+        if isinstance(first, ast.Starred):
+            continue  # cannot tell statically; the runtime guard decides
+        findings.append(_report(
+            cb, path, "DT303", node,
+            f"{cb.name}() emits under `{ast.unparse(first)}`, which is "
+            f"not the input key parameter `{cb.key}` — OpKeyedOrdered "
+            f"must preserve the input key",
+        ))
+    return findings

@@ -1,0 +1,385 @@
+"""DT2xx — commutativity of ``combine`` and order-sensitivity hazards.
+
+Two complementary attacks on the same side condition (Table 1's
+commutative monoid, Definition 3.5's order-independence):
+
+- **Syntactic non-commutativity** (DT201/DT202/DT204): ``combine``
+  built from operations that visibly depend on argument order —
+  subtraction, division, string/list concatenation, left-to-right
+  ``reduce``, last-writer-wins dict merges.
+
+- **Order taint** (DT203): a small intra-function taint walk from
+  unordered iteration sources (set literals, dict-typed locals, dict/
+  set monoid aggregates inferred from ``identity()``) to output sinks
+  (``emit`` arguments, return values of pure template functions).
+  Hash-order hazards are *stable within one process* (PYTHONHASHSEED),
+  so dynamic validation cannot see them — this rule is the static
+  counterpart.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis import astutils
+from repro.analysis.astutils import (
+    Callback,
+    ScannedClass,
+    call_name,
+    container_kind,
+    infer_aggregate_kind,
+    is_sanitizer_call,
+    names_in,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import get_rule
+
+#: BinOp node types that are non-commutative outright.
+_NONCOMM_OPS = (
+    ast.Sub, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+    ast.LShift, ast.RShift, ast.MatMult,
+)
+
+_OP_NAMES = {
+    ast.Sub: "-", ast.Div: "/", ast.FloorDiv: "//", ast.Mod: "%",
+    ast.Pow: "**", ast.LShift: "<<", ast.RShift: ">>", ast.MatMult: "@",
+}
+
+
+def check_class(cls: ScannedClass, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    agg_kind = infer_aggregate_kind(cls)
+    for cb in cls.callbacks:
+        if cb.name == "combine" and cb.role == "pure":
+            findings.extend(_check_combine(cb, path))
+        elif cb.name in ("update_state", "finish", "fold_in") and (
+            cb.role == "pure"
+        ):
+            findings.extend(_check_reduce(cb, path))
+        if cb.role in ("pure", "emitting"):
+            findings.extend(_check_order_taint(cb, path, agg_kind))
+    return findings
+
+
+def _check_reduce(cb: Callback, path: str) -> List[Finding]:
+    """DT202 outside ``combine``: left-to-right folds in the other
+    monoid/fold callbacks bake element order into the result too."""
+    findings: List[Finding] = []
+    for node in ast.walk(cb.node):
+        if isinstance(node, ast.Call) and call_name(node) in (
+            "reduce", "functools.reduce", "accumulate", "itertools.accumulate",
+        ):
+            findings.append(
+                get_rule("DT202").finding(
+                    f"{cb.name}() folds left-to-right with "
+                    f"{call_name(node)}(); the result depends on element "
+                    "order unless the inner function is "
+                    "commutative+associative",
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    symbol=cb.symbol,
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# DT201 / DT202 / DT204: combine(x, y)
+# ----------------------------------------------------------------------
+
+def _check_combine(cb: Callback, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    fn = cb.node
+    params = [p for p in cb.params[1:]]  # the two aggregate arguments
+    if len(params) < 2:
+        return findings
+    x, y = params[0], params[1]
+
+    def report(code: str, node: ast.AST, message: str) -> None:
+        findings.append(
+            get_rule(code).finding(
+                message,
+                path=path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                symbol=cb.symbol,
+            )
+        )
+
+    def scan(node: ast.AST) -> None:
+        # Do not descend into sanitizer calls: sorted(x + y) launders
+        # the concatenation order.
+        if is_sanitizer_call(node):
+            return
+        if isinstance(node, ast.BinOp):
+            left_names = names_in(node.left, through_sanitizers=True)
+            right_names = names_in(node.right, through_sanitizers=True)
+            crosses = (x in left_names and y in right_names) or (
+                y in left_names and x in right_names
+            )
+            if isinstance(node.op, _NONCOMM_OPS) and crosses:
+                report(
+                    "DT201", node,
+                    f"combine() applies non-commutative `{_OP_NAMES[type(node.op)]}` "
+                    f"to its arguments ({x} and {y})",
+                )
+            elif isinstance(node.op, ast.Add) and (
+                x in left_names or y in left_names
+                or x in right_names or y in right_names
+            ):
+                # + is commutative on numbers but concatenation on
+                # sequences; flag when either operand is visibly a
+                # sequence literal or an f-string.
+                for side in (node.left, node.right):
+                    if isinstance(
+                        side, (ast.List, ast.ListComp, ast.JoinedStr)
+                    ) or (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, str)
+                    ):
+                        report(
+                            "DT201", node,
+                            "combine() concatenates sequences with `+` "
+                            "(concatenation is not commutative)",
+                        )
+                        break
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in ("reduce", "functools.reduce",
+                        "accumulate", "itertools.accumulate"):
+                report(
+                    "DT202", node,
+                    f"combine() folds left-to-right with {name}(); the "
+                    "result depends on element order unless the inner "
+                    "function is commutative+associative",
+                )
+            # str.join over both arguments is ordered concatenation
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+            ):
+                arg_names = set()
+                for arg in node.args:
+                    arg_names |= names_in(arg, through_sanitizers=True)
+                if x in arg_names and y in arg_names:
+                    report(
+                        "DT201", node,
+                        "combine() joins its arguments into a string in "
+                        "argument order",
+                    )
+            # dict.update on a local merge copy: last writer wins
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "update"
+                and names_in(node, through_sanitizers=True) & {x, y}
+            ):
+                report(
+                    "DT204", node,
+                    "combine() merges dicts with .update() — last "
+                    "writer wins on overlapping keys and insertion "
+                    "order records arrival order",
+                )
+        if isinstance(node, ast.Dict):
+            # {**x, **y} double-star merge
+            starred = [k for k in node.keys if k is None]
+            if starred:
+                value_names = set()
+                for key_node, value_node in zip(node.keys, node.values):
+                    if key_node is None:
+                        value_names |= names_in(
+                            value_node, through_sanitizers=True
+                        )
+                if x in value_names or y in value_names:
+                    report(
+                        "DT204", node,
+                        "combine() merges dicts with `{**...}` — last "
+                        "writer wins on overlapping keys",
+                    )
+        for child in ast.iter_child_nodes(node):
+            scan(child)
+
+    for stmt in fn.body:
+        scan(stmt)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# DT203: unordered-iteration order flowing to output
+# ----------------------------------------------------------------------
+
+def _check_order_taint(
+    cb: Callback, path: str, agg_kind: Optional[str]
+) -> List[Finding]:
+    fn = cb.node
+    findings: List[Finding] = []
+
+    def report(node: ast.AST, message: str) -> None:
+        findings.append(
+            get_rule("DT203").finding(
+                message,
+                path=path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                symbol=cb.symbol,
+            )
+        )
+
+    # -- unordered sources ---------------------------------------------
+    # Names bound to set/dict values in this function, plus the monoid
+    # aggregate parameters when identity() showed the aggregate is a
+    # dict/set (their iteration order encodes arrival/hash order).
+    unordered: Set[str] = set()
+    if agg_kind in ("dict", "set") and cb.kind in (
+        astutils.KEYED_UNORDERED, astutils.SLIDING
+    ):
+        if cb.name in ("combine",):
+            unordered |= set(cb.params[1:])
+        elif cb.name == "update_state" and cb.value:
+            unordered.add(cb.value)  # the agg argument
+        elif cb.name == "finish" and cb.state:
+            unordered.add(cb.state)  # the window aggregate
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                kind = container_kind(node.value)
+                if kind in ("dict", "set"):
+                    unordered.add(target.id)
+
+    # -- taint propagation ---------------------------------------------
+    tainted: Set[str] = set()
+
+    def iter_is_unordered(expr: ast.AST) -> bool:
+        # unwrap enumerate/list/tuple/iter/reversed — they preserve order
+        while isinstance(expr, ast.Call) and call_name(expr) in (
+            "enumerate", "list", "tuple", "iter", "reversed",
+        ):
+            if not expr.args:
+                return False
+            expr = expr.args[0]
+        if is_sanitizer_call(expr):
+            # sorted(...) / set(...)? set(...) *creates* a set, but
+            # iterating it directly is a hash-order iteration:
+            if isinstance(expr, ast.Call) and call_name(expr) in (
+                "set", "frozenset",
+            ):
+                return True
+            return False
+        if isinstance(expr, (ast.Set, ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in unordered or expr.id in tainted
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            if expr.func.attr in ("keys", "values", "items"):
+                base = expr.func.value
+                return isinstance(base, ast.Name) and (
+                    base.id in unordered or base.id in tainted
+                )
+        return False
+
+    def order_freezing(node: ast.AST) -> Set[str]:
+        """Unordered names whose iteration order ``node`` records.
+
+        ``list(agg)`` / ``tuple(agg)`` freeze the hash/insertion order
+        of an unordered value into a sequence; a list comprehension over
+        one does the same.  (``sorted``/``len``/``frozenset``-style
+        sanitizers are handled by ``names_in`` and never reach here.)
+        """
+        out: Set[str] = set()
+        for sub in ast.walk(node):
+            if is_sanitizer_call(sub):
+                continue
+            arg = None
+            if (
+                isinstance(sub, ast.Call)
+                and call_name(sub) in ("list", "tuple")
+                and sub.args
+            ):
+                arg = sub.args[0]
+            elif isinstance(sub, ast.ListComp) and sub.generators:
+                arg = sub.generators[0].iter
+            if isinstance(arg, ast.Name) and (
+                arg.id in unordered or arg.id in tainted
+            ):
+                out.add(arg.id)
+        return out
+
+    def target_names(t: ast.AST) -> List[str]:
+        if isinstance(t, ast.Name):
+            return [t.id]
+        if isinstance(t, (ast.Tuple, ast.List)):
+            out: List[str] = []
+            for elt in t.elts:
+                out.extend(target_names(elt))
+            return out
+        return []
+
+    emit_name = cb.emit
+
+    def scan(node: ast.AST, loop_tainted: bool) -> None:
+        if isinstance(node, ast.For):
+            body_tainted = loop_tainted
+            if iter_is_unordered(node.iter):
+                body_tainted = True
+                for name in target_names(node.target):
+                    tainted.add(name)
+            for child in node.body + node.orelse:
+                scan(child, body_tainted)
+            return
+        if isinstance(node, ast.Assign):
+            value_names = names_in(node.value)
+            if (value_names & tainted) or order_freezing(node.value):
+                for t in node.targets:
+                    for name in target_names(t):
+                        tainted.add(name)
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if loop_tainted or (names_in(node.value) & tainted):
+                tainted.add(node.target.id)
+        if isinstance(node, ast.Call):
+            # appending inside a hash/insertion-ordered loop records the
+            # iteration order in the receiver, whatever is appended
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "append", "extend", "insert", "appendleft",
+            ):
+                recv = node.func.value
+                if isinstance(recv, ast.Name):
+                    if loop_tainted or (names_in(node) & tainted):
+                        tainted.add(recv.id)
+            # sinks: emit(...) with tainted arguments
+            if (
+                emit_name is not None
+                and isinstance(node.func, ast.Name)
+                and node.func.id == emit_name
+            ):
+                bad = set()
+                for arg in node.args:
+                    bad |= (names_in(arg) & tainted) | order_freezing(arg)
+                if bad:
+                    report(
+                        node,
+                        f"{cb.name}() emits a value derived from "
+                        f"unordered iteration order "
+                        f"({', '.join(sorted(bad))})",
+                    )
+        if isinstance(node, ast.Return) and node.value is not None:
+            if cb.role == "pure":
+                bad = (names_in(node.value) & tainted) | order_freezing(
+                    node.value
+                )
+                if bad:
+                    report(
+                        node,
+                        f"{cb.name}() returns a value recording "
+                        f"unordered iteration order "
+                        f"({', '.join(sorted(bad))})",
+                    )
+        for child in ast.iter_child_nodes(node):
+            scan(child, loop_tainted)
+
+    for stmt in fn.body:
+        scan(stmt, False)
+    return findings

@@ -1,0 +1,191 @@
+"""DT1xx — purity of template callbacks.
+
+Theorem 4.2's consistency proof treats every template function as a
+pure function of its arguments.  These rules flag the ways Python code
+escapes that contract: instance-state writes (DT101), ``global``/
+``nonlocal`` (DT102), nondeterministic calls (DT103), mutation of
+shared mutables outside the function (DT104), and in-place mutation of
+arguments that the runtime may alias (DT105).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis import astutils
+from repro.analysis.astutils import (
+    Callback,
+    MUTATING_METHODS,
+    ScannedClass,
+    dotted_name,
+    is_self_attribute,
+    local_names,
+    self_param,
+    subscript_base,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import get_rule
+
+#: Exact dotted call names whose results depend on wall clock, process
+#: identity, or hidden RNG state.
+_NONDET_EXACT: Set[str] = {
+    "id",
+    "random", "randint", "randrange", "shuffle", "choice", "sample",
+    "uniform", "gauss", "getrandbits",
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "os.urandom", "os.getpid",
+    "datetime.now", "datetime.utcnow",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "uuid.uuid1", "uuid.uuid4",
+}
+
+#: Dotted prefixes: any call under these modules is nondeterministic.
+_NONDET_PREFIXES = ("random.", "secrets.", "np.random.", "numpy.random.")
+
+
+def _is_nondet_call(name: str) -> bool:
+    if name in _NONDET_EXACT:
+        return True
+    return any(name.startswith(p) for p in _NONDET_PREFIXES)
+
+
+def check_class(cls: ScannedClass, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for cb in cls.callbacks:
+        if cb.role == "snapshot":
+            continue  # DT4xx territory
+        findings.extend(_check_callback(cb, path))
+    return findings
+
+
+def _check_callback(cb: Callback, path: str) -> List[Finding]:
+    fn = cb.node
+    findings: List[Finding] = []
+    self_name = self_param(fn)
+    locals_ = local_names(fn)
+    # Parameters whose in-place mutation DT105 flags: the arguments of
+    # pure functions, plus the state snapshot OpKeyedUnordered.on_item
+    # sees (the runtime aliases it across items of a block).
+    frozen_params: Set[str] = set()
+    if cb.role == "pure":
+        frozen_params = set(cb.params[1:])
+    else:
+        # Emitting callbacks do not own the incoming value (the runtime
+        # may alias it into other tasks' queues), and OpKeyedUnordered's
+        # on_item only sees the shared last-marker state snapshot.
+        if cb.value:
+            frozen_params.add(cb.value)
+        if (
+            cb.kind == astutils.KEYED_UNORDERED
+            and cb.name == "on_item"
+            and cb.state
+        ):
+            frozen_params.add(cb.state)
+
+    def report(code: str, node: ast.AST, message: str) -> None:
+        findings.append(
+            get_rule(code).finding(
+                message,
+                path=path,
+                line=getattr(node, "lineno", fn.lineno),
+                col=getattr(node, "col_offset", 0) + 1,
+                symbol=cb.symbol,
+            )
+        )
+
+    for node in ast.walk(fn):
+        # --- DT102: global / nonlocal declarations -------------------
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            kw = "global" if isinstance(node, ast.Global) else "nonlocal"
+            report(
+                "DT102", node,
+                f"`{kw} {', '.join(node.names)}` declares out-of-band "
+                f"state in template callback {cb.name}()",
+            )
+            continue
+
+        # --- assignment targets --------------------------------------
+        targets: List[ast.AST] = []
+        if isinstance(node, (ast.Assign,)):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            base = subscript_base(target)
+            if self_name and is_self_attribute(base, self_name):
+                # e.g. self.total = ..., self.cache[k] = ..., del self.x
+                report(
+                    "DT101", node,
+                    f"template callback {cb.name}() writes operator "
+                    f"instance state ({ast.unparse(target)})",
+                )
+            elif isinstance(target, (ast.Subscript,)) or isinstance(
+                target, ast.Attribute
+            ):
+                root = base
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    if root.id in frozen_params and isinstance(
+                        target, ast.Subscript
+                    ):
+                        report(
+                            "DT105", node,
+                            f"{cb.name}() mutates its argument "
+                            f"`{root.id}` in place "
+                            f"({ast.unparse(target)} = ...)",
+                        )
+                    elif root.id not in locals_:
+                        report(
+                            "DT104", node,
+                            f"{cb.name}() writes shared mutable "
+                            f"`{root.id}` defined outside the function "
+                            f"({ast.unparse(target)} = ...)",
+                        )
+
+        # --- calls ----------------------------------------------------
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and _is_nondet_call(name):
+                report(
+                    "DT103", node,
+                    f"nondeterministic call {name}() in template "
+                    f"callback {cb.name}()",
+                )
+            # mutating method calls: receiver decides the rule
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATING_METHODS
+            ):
+                recv = subscript_base(node.func.value)
+                if self_name and is_self_attribute(recv, self_name):
+                    report(
+                        "DT101", node,
+                        f"template callback {cb.name}() mutates operator "
+                        f"instance state "
+                        f"({ast.unparse(node.func)}(...))",
+                    )
+                else:
+                    root = recv
+                    while isinstance(root, ast.Attribute):
+                        root = root.value
+                    if isinstance(root, ast.Name):
+                        if root.id in frozen_params:
+                            report(
+                                "DT105", node,
+                                f"{cb.name}() mutates its argument "
+                                f"`{root.id}` in place "
+                                f"(.{node.func.attr}())",
+                            )
+                        elif root.id not in locals_:
+                            report(
+                                "DT104", node,
+                                f"{cb.name}() mutates shared mutable "
+                                f"`{root.id}` defined outside the "
+                                f"function (.{node.func.attr}())",
+                            )
+    return findings

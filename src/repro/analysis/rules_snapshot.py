@@ -1,0 +1,205 @@
+"""DT4xx — snapshot aliasing and shallow-copy hazards.
+
+Epoch-aligned recovery restores operators from per-epoch snapshots;
+the whole scheme rests on each snapshot being *independent* of the
+live state it was taken from.  The static signatures of a broken
+snapshot:
+
+- DT401: ``snapshot_state``/``copy_state``/``restore_state`` returning
+  its state argument unchanged (the snapshot IS the live object);
+- DT402: returning a one-level copy (``list(state)``, ``state.copy()``,
+  ``dict(state)``, slices, identity comprehensions) — safe only when
+  every element is immutable, which the analyzer cannot prove, so it
+  warns and expects either a deep copy or a justified suppression.
+
+The ``X if X is None else <copy>`` idiom is recognized: only the
+non-None branch is analyzed (returning a ``None`` state aliases
+nothing).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.astutils import Callback, ScannedClass, call_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import get_rule
+
+#: Call names that produce one-level copies of their argument.
+_SHALLOW_CALLS = {
+    "list", "tuple", "set", "frozenset", "dict", "deque",
+    "collections.deque", "copy.copy",
+}
+
+#: Call names that produce independent copies.
+_DEEP_CALLS = {"copy.deepcopy", "deepcopy"}
+
+
+def check_class(cls: ScannedClass, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for cb in cls.callbacks:
+        if cb.role != "snapshot":
+            continue
+        findings.extend(_check_snapshot(cb, path))
+    return findings
+
+
+def _is_param(node: ast.AST, name: Optional[str]) -> bool:
+    return (
+        name is not None
+        and isinstance(node, ast.Name)
+        and node.id == name
+    )
+
+
+def _none_guard_branch(expr: ast.AST, param: Optional[str]) -> ast.AST:
+    """For ``state if state is None else X`` (either orientation),
+    return the branch taken when the state is not None."""
+    if not isinstance(expr, ast.IfExp) or param is None:
+        return expr
+    test = expr.test
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+        and _is_param(test.left, param)
+    ):
+        return expr
+    if isinstance(test.ops[0], ast.Is):
+        return expr.orelse  # state is None -> body is the None case
+    if isinstance(test.ops[0], ast.IsNot):
+        return expr.body
+    return expr
+
+
+def _check_snapshot(cb: Callback, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    fn = cb.node
+    param = cb.state  # None for self-only snapshot_state()
+
+    def report(code: str, node: ast.AST, msg: str) -> None:
+        findings.append(
+            get_rule(code).finding(
+                msg,
+                path=path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                symbol=cb.symbol,
+            )
+        )
+
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        expr = _none_guard_branch(node.value, param)
+
+        # DT401: return <state param> verbatim
+        if _is_param(expr, param):
+            report(
+                "DT401", node,
+                f"{cb.name}() returns its state argument — the "
+                f"snapshot aliases the live state",
+            )
+            continue
+        # DT401 (self-only form): return self.<attr>
+        if param is None and isinstance(expr, ast.Attribute):
+            base = expr.value
+            if isinstance(base, ast.Name) and cb.params and base.id == cb.params[0]:
+                report(
+                    "DT401", node,
+                    f"{cb.name}() returns live instance state "
+                    f"({ast.unparse(expr)}) without copying",
+                )
+                continue
+
+        # DT402: shallow copies of the state argument
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            if name in _DEEP_CALLS:
+                continue
+            if (
+                name in _SHALLOW_CALLS
+                and len(expr.args) == 1
+                and _is_param(expr.args[0], param)
+            ):
+                report(
+                    "DT402", node,
+                    f"{cb.name}() returns a one-level copy "
+                    f"({name}({param})); nested mutables stay shared "
+                    f"with the live state",
+                )
+                continue
+            # state.copy() method form
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "copy"
+                and _is_param(expr.func.value, param)
+            ):
+                report(
+                    "DT402", node,
+                    f"{cb.name}() returns {param}.copy(); nested "
+                    f"mutables stay shared with the live state",
+                )
+                continue
+        # state[:] slice copy
+        if (
+            isinstance(expr, ast.Subscript)
+            and isinstance(expr.slice, ast.Slice)
+            and _is_param(expr.value, param)
+        ):
+            report(
+                "DT402", node,
+                f"{cb.name}() returns {param}[...] — a one-level slice "
+                f"copy",
+            )
+            continue
+        # identity comprehension: [x for x in state] / {k: v for k, v in
+        # state.items()} — one-level copies when the element expression
+        # is the bare loop variable (or bare k: v pair)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            if _is_identity_comp(expr, param):
+                report(
+                    "DT402", node,
+                    f"{cb.name}() rebuilds the container but keeps the "
+                    f"same element objects (identity comprehension)",
+                )
+    return findings
+
+
+def _comp_over_param(comp, param: Optional[str]) -> bool:
+    if param is None or len(comp.generators) != 1:
+        return False
+    src = comp.generators[0].iter
+    if _is_param(src, param):
+        return True
+    # state.items() / .keys() / .values()
+    return (
+        isinstance(src, ast.Call)
+        and isinstance(src.func, ast.Attribute)
+        and src.func.attr in ("items", "keys", "values")
+        and _is_param(src.func.value, param)
+    )
+
+
+def _is_identity_comp(comp, param: Optional[str]) -> bool:
+    if not _comp_over_param(comp, param):
+        return False
+    gen = comp.generators[0]
+    if isinstance(comp, ast.DictComp):
+        # {k: v for k, v in state.items()} — value is the bare loop var
+        if isinstance(gen.target, ast.Tuple) and len(gen.target.elts) == 2:
+            v_target = gen.target.elts[1]
+            return (
+                isinstance(v_target, ast.Name)
+                and isinstance(comp.value, ast.Name)
+                and comp.value.id == v_target.id
+            )
+        return False
+    # [x for x in state] — element is the bare loop var
+    return (
+        isinstance(gen.target, ast.Name)
+        and isinstance(comp.elt, ast.Name)
+        and comp.elt.id == gen.target.id
+    )

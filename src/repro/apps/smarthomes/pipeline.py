@@ -101,6 +101,7 @@ class LinearInterpolationOp(OpKeyedOrdered):
 
     def copy_state(self, state):
         # A mutable [load, ts, dtype] triple of scalars (or None).
+        # repro: ignore[DT402] -- elements are scalars, one level deep
         return state if state is None else list(state)
 
     def on_item(self, state, key, value, emit):
@@ -166,6 +167,7 @@ class AveragePerSecondOp(OpKeyedOrdered):
 
     def copy_state(self, state):
         # A mutable [ts, total, count] triple of scalars (or None).
+        # repro: ignore[DT402] -- elements are scalars, one level deep
         return state if state is None else list(state)
 
     def on_item(self, state, key, value, emit):
@@ -229,7 +231,7 @@ class PredictOp(OpKeyedOrdered):
 
     def copy_state(self, state):
         # A deque of immutable (ts, load) tuples.
-        return deque(state)
+        return deque(state)  # repro: ignore[DT402] -- elements are immutable tuples
 
     def on_item(self, state, key, value, emit):
         avg_load, ts = value

@@ -25,6 +25,12 @@ Commands regenerate the paper's evaluation artifacts without pytest:
   epoch-aligned checkpointing and rollback recovery, and verify the
   recovered canonical sink traces equal the baseline across
   ``--seeds``; ``--no-recovery`` shows the raw corruption instead;
+- ``lint [PATHS...]`` — the static consistency analyzer
+  (:mod:`repro.analysis`): Theorem 4.2 side conditions, determinism
+  hazards, snapshot aliasing.  ``--strict`` fails on warnings too,
+  ``--format {text,json,github}`` picks the output, ``--dynamic`` adds
+  sampled-shuffle validation (DT9xx), ``--explain DT203`` prints one
+  rule's catalog entry;
 - ``motivation`` — the Section 2 naive-vs-typed soundness experiment;
 - ``bench [NAME]`` — run a ``benchmarks/bench_*.py`` module under pytest
   (``bench batching`` is the CI perf-smoke suite; omit NAME to list);
@@ -399,6 +405,40 @@ def _sim(args) -> int:
     return 1 if failures else 0
 
 
+def _lint(args) -> int:
+    """Run the static consistency analyzer (``repro.analysis``)."""
+    from repro.analysis import explain
+    from repro.analysis.driver import analyze_paths
+
+    if args.explain:
+        try:
+            print(explain(args.explain.upper()))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        return 0
+
+    paths = args.paths or ["src", "examples"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        report = analyze_paths(
+            paths,
+            dynamic=args.dynamic,
+            select=tuple(args.select or ()),
+            ignore=tuple(args.ignore or ()),
+        )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    output = report.render(args.format)
+    if output:
+        print(output)
+    return report.exit_code(strict=args.strict)
+
+
 def _motivation(args) -> int:
     from repro.apps.iot import SensorWorkload, build_naive_topology, iot_typed_dag
     from repro.compiler import compile_dag
@@ -598,6 +638,33 @@ def main(argv=None) -> int:
     p_sim.add_argument("--report-json", metavar="PATH",
                        help="write per-seed recovery stats as JSON")
     p_sim.set_defaults(func=_sim)
+
+    p_lint = sub.add_parser(
+        "lint", help="static consistency analyzer (Theorem 4.2 side "
+                     "conditions, determinism hazards, snapshot aliasing)"
+    )
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to analyze "
+                             "(default: src examples)")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings as well as errors")
+    p_lint.add_argument("--format", choices=["text", "json", "github"],
+                        default="text",
+                        help="output format (github = workflow-command "
+                             "annotations)")
+    p_lint.add_argument("--dynamic", action="store_true",
+                        help="also run sampled monoid-law and "
+                             "Definition 3.5 shuffle validation on every "
+                             "template operator (DT9xx findings)")
+    p_lint.add_argument("--select", action="append", metavar="PREFIX",
+                        help="only report codes matching PREFIX "
+                             "(repeatable; e.g. --select DT2)")
+    p_lint.add_argument("--ignore", action="append", metavar="PREFIX",
+                        help="drop codes matching PREFIX (repeatable)")
+    p_lint.add_argument("--explain", metavar="CODE",
+                        help="print one rule's rationale, example, and "
+                             "suppression syntax, then exit")
+    p_lint.set_defaults(func=_lint)
 
     p_mot = sub.add_parser("motivation", help="Section 2 soundness experiment")
     p_mot.add_argument("--seeds", type=int, default=10)

@@ -31,13 +31,32 @@ class Plan:
 
     parallelism: Dict[int, int]
 
-    def apply(self, dag: TransductionDAG) -> TransductionDAG:
-        """Return a copy of ``dag`` with the plan's hints installed."""
+    def apply(self, dag: TransductionDAG, check: bool = True) -> TransductionDAG:
+        """Return a copy of ``dag`` with the plan's hints installed.
+
+        With ``check=True`` (default) the Theorem 4.3 side conditions
+        are verified first — a hint on a vertex the rewrite could not
+        legally parallelize (DT503: multiple consumers) raises
+        :class:`~repro.errors.DagError` here, at planning time, instead
+        of surfacing later inside ``deploy()``.
+        """
         from repro.dag.rewrite import copy_dag
 
         result = copy_dag(dag)
         for vertex_id, hint in self.parallelism.items():
             result.vertices[vertex_id].parallelism = hint
+        if check:
+            # Imported lazily: the dag layer must not depend on the
+            # analysis package at import time.
+            from repro.analysis.rules_dag import check_parallelism_preconditions
+            from repro.errors import DagError
+
+            problems = check_parallelism_preconditions(result, result.name)
+            if problems:
+                details = "; ".join(f.message for f in problems)
+                raise DagError(
+                    f"plan violates Theorem 4.3 side conditions: {details}"
+                )
         return result
 
     def total_tasks(self) -> int:

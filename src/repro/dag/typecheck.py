@@ -29,12 +29,34 @@ raises :class:`~repro.errors.TraceTypeError` naming the offending spot.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TraceTypeError
 from repro.dag.graph import TransductionDAG, VertexKind
 from repro.operators.split import Splitter
 from repro.traces.trace_type import DataTraceType
+
+
+@dataclass(frozen=True)
+class EdgeKindDiagnostic:
+    """One edge whose kind inference fell back to the ``U`` default.
+
+    Produced by :func:`typecheck_diagnostics` (and surfaced as the
+    linter's ``DT502``): ``edge_id`` plus endpoint names locate the
+    edge; ``reason`` says why inference could not determine a kind.
+    """
+
+    edge_id: int
+    src: str
+    dst: str
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"edge {self.edge_id} ({self.src} -> {self.dst}) "
+            f"defaulted to U: {self.reason}"
+        )
 
 
 def _kind_of_type(trace_type: Optional[DataTraceType]) -> Optional[str]:
@@ -44,24 +66,56 @@ def _kind_of_type(trace_type: Optional[DataTraceType]) -> Optional[str]:
     return trace_type.stream_kind()
 
 
-def typecheck_dag(dag: TransductionDAG) -> Dict[int, str]:
+def typecheck_dag(dag: TransductionDAG, strict: bool = False) -> Dict[int, str]:
     """Check the DAG; return the inferred kind ("U"/"O") per edge id.
 
     Raises :class:`TraceTypeError` on any inconsistency.  Edges whose
-    kind cannot be determined default to ``"U"`` in the returned map.
+    kind cannot be determined default to ``"U"`` in the returned map;
+    with ``strict=True`` such edges are a hard error instead (use
+    :func:`typecheck_diagnostics` to get them as data).
+    """
+    kinds, diagnostics = typecheck_diagnostics(dag)
+    if strict and diagnostics:
+        details = "; ".join(d.describe() for d in diagnostics)
+        raise TraceTypeError(
+            f"strict type check: {len(diagnostics)} edge(s) with "
+            f"undetermined kind ({details}); annotate them with "
+            "edge_types=[...]"
+        )
+    return kinds
+
+
+def typecheck_diagnostics(
+    dag: TransductionDAG,
+) -> Tuple[Dict[int, str], List[EdgeKindDiagnostic]]:
+    """Like :func:`typecheck_dag`, but also report defaulted edges.
+
+    Returns ``(kinds, diagnostics)`` where ``kinds`` maps every edge id
+    to "U"/"O" (defaulted edges included, for backward compatibility)
+    and ``diagnostics`` lists each edge whose kind had to be defaulted
+    rather than inferred, with the reason inference failed.
     """
     dag.validate()
     kinds: Dict[int, Optional[str]] = {
         eid: _kind_of_type(edge.trace_type) for eid, edge in dag.edges.items()
     }
+    # edge id -> why its kind had to be defaulted (cleared if a later
+    # constraint determines the kind after all).
+    defaulted: Dict[int, str] = {}
 
     def set_kind(edge_id: int, kind: Optional[str], context: str) -> None:
         """Constrain an edge to exactly ``kind`` (hard unification)."""
         if kind is None:
             return
         existing = kinds.get(edge_id)
-        if existing is None:
+        if existing is None or edge_id in defaulted:
+            if existing is not None and existing != kind:
+                raise TraceTypeError(
+                    f"type error at {context}: edge {edge_id} is {existing} "
+                    f"but {kind} is required"
+                )
             kinds[edge_id] = kind
+            defaulted.pop(edge_id, None)  # a real constraint arrived
         elif existing != kind:
             raise TraceTypeError(
                 f"type error at {context}: edge {edge_id} is {existing} "
@@ -75,7 +129,7 @@ def typecheck_dag(dag: TransductionDAG) -> Dict[int, str]:
             return
         existing = kinds.get(edge_id)
         if wanted == "O":
-            if existing == "U":
+            if existing == "U" and edge_id not in defaulted:
                 raise TraceTypeError(
                     f"order-sensitive operator {context} fed by an "
                     f"unordered (U) edge {edge_id}; insert SORT first "
@@ -84,7 +138,13 @@ def typecheck_dag(dag: TransductionDAG) -> Dict[int, str]:
             set_kind(edge_id, "O", context)
         elif wanted == "U":
             if existing is None:
-                kinds[edge_id] = "U"  # best-effort default, not a demand
+                # best-effort default, not a demand: record why
+                kinds[edge_id] = "U"
+                defaulted[edge_id] = (
+                    f"consumer {context} accepts any kind (U with "
+                    "subsumption); no annotation and no typed upstream "
+                    "determined the edge"
+                )
             # existing "O" is fine by subsumption; "U" is exact.
 
     for vertex in dag.topological_order():
@@ -152,7 +212,24 @@ def typecheck_dag(dag: TransductionDAG) -> Dict[int, str]:
                     "(Section 2's Sort-LI fix)"
                 )
 
-    return {eid: kind or "U" for eid, kind in kinds.items()}
+    # Edges no constraint ever touched (e.g. between two kind-polymorphic
+    # vertices) default to U as well, with their own reason.
+    for eid, kind in kinds.items():
+        if kind is None:
+            defaulted[eid] = (
+                "no annotation, and neither endpoint constrains the kind"
+            )
+
+    diagnostics = [
+        EdgeKindDiagnostic(
+            edge_id=eid,
+            src=dag.vertices[dag.edges[eid].src].name,
+            dst=dag.vertices[dag.edges[eid].dst].name,
+            reason=reason,
+        )
+        for eid, reason in sorted(defaulted.items())
+    ]
+    return {eid: kind or "U" for eid, kind in kinds.items()}, diagnostics
 
 
 def _common_kind(kinds, edges, context: str) -> Optional[str]:

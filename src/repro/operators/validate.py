@@ -31,6 +31,7 @@ __all__ = [
     "check_monoid_laws",
     "check_consistency_on",
     "validate_operator",
+    "validate_operator_findings",
     "shuffle_within_blocks",  # re-exported from repro.operators.sampling
 ]
 
@@ -117,3 +118,63 @@ def validate_operator(
             operator, events, shuffles=shuffles, seed=seed,
             output_ordered=output_ordered, rng=rng,
         )
+
+
+def validate_operator_findings(
+    operator: Operator,
+    sample_events: Optional[Sequence[Event]] = None,
+    shuffles: int = 10,
+    seed: int = 0,
+    output_ordered: bool = False,
+    *,
+    path: str = "",
+    line: int = 0,
+    symbol: str = "",
+):
+    """Dynamic-witness results as the linter's ``Finding`` records.
+
+    The ``DT9xx`` backend of ``repro lint --dynamic``: runs the same
+    spot-checks as :func:`validate_operator`, but instead of raising it
+    returns a list of findings — DT901 for monoid-law failures, DT902
+    for Definition 3.5 shuffle inconsistencies, DT903 when a check
+    crashed before producing a verdict — so static and dynamic results
+    merge into one report.  An empty list means every applicable check
+    passed.
+    """
+    # Imported lazily: repro.analysis imports this module's checkers,
+    # so a module-level import back into the analysis package would be
+    # circular.
+    from repro.analysis.registry import get_rule
+
+    events = (
+        list(sample_events) if sample_events is not None
+        else default_sample_events()
+    )
+    symbol = symbol or operator.label()
+    findings = []
+
+    def spot(code: str, message: str):
+        findings.append(
+            get_rule(code).finding(
+                message, path=path, line=line, symbol=symbol,
+            )
+        )
+
+    if isinstance(operator, OpKeyedUnordered):
+        try:
+            check_monoid_laws(operator, events)
+        except ConsistencyError as exc:
+            spot("DT901", str(exc))
+        except Exception as exc:  # crashed before a verdict
+            spot("DT903", f"monoid-law check crashed: {exc!r}")
+    if operator.input_kind != "O":
+        try:
+            check_consistency_on(
+                operator, events, shuffles=shuffles, seed=seed,
+                output_ordered=output_ordered,
+            )
+        except ConsistencyError as exc:
+            spot("DT902", str(exc))
+        except Exception as exc:
+            spot("DT903", f"consistency check crashed: {exc!r}")
+    return findings

@@ -1,0 +1,26 @@
+"""DT401: a snapshot that returns the live state object.
+
+The checkpoint aliases the running state: mutations after the snapshot
+corrupt the checkpoint, so recovery replays from a state the trace
+never contained.
+"""
+
+from repro.operators.keyed_ordered import OpKeyedOrdered
+
+EXPECT_STATIC = ("DT401",)
+EXPECT_DYNAMIC = ()  # O-input: block-shuffle consistency does not apply
+
+
+class AliasedWindow(OpKeyedOrdered):
+    name = "aliased-window"
+
+    def init(self):
+        return []
+
+    def copy_state(self, state):
+        return state  # DT401: checkpoint aliases live mutable state
+
+    def on_item(self, state, key, value, emit):
+        state.append(value)
+        emit(key, len(state))
+        return state

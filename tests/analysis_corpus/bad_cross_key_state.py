@@ -1,0 +1,26 @@
+"""DT301: per-key state kept on ``self`` instead of in the template.
+
+State the runtime does not own is invisible to checkpointing and is
+not co-partitioned with the key under parallelization — after a HASH
+split the instance handling key "a" no longer holds "a"'s history.
+"""
+
+from repro.operators.keyed_ordered import OpKeyedOrdered
+
+EXPECT_STATIC = ("DT301",)
+EXPECT_DYNAMIC = ()  # O-input: block-shuffle consistency does not apply
+
+
+class ShadowHistory(OpKeyedOrdered):
+    name = "shadow-history"
+
+    def __init__(self):
+        self._hist = {}
+
+    def init(self):
+        return None
+
+    def on_item(self, state, key, value, emit):
+        prev = self._hist[key] if key in self._hist else None  # DT301
+        emit(key, (prev, value))
+        return value

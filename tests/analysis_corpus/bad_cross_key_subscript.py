@@ -1,0 +1,24 @@
+"""DT302: indexing keyed state with something other than the key.
+
+The template hands ``on_item`` exactly one key's state; reaching for a
+different key's entry assumes a shared table that does not exist once
+keys are partitioned across tasks.
+"""
+
+from repro.operators.keyed_ordered import OpKeyedOrdered
+
+EXPECT_STATIC = ("DT302",)
+EXPECT_DYNAMIC = ()  # O-input: block-shuffle consistency does not apply
+
+
+class PeerReader(OpKeyedOrdered):
+    name = "peer-reader"
+
+    def init(self):
+        return {"hub": 0}
+
+    def on_item(self, state, key, value, emit):
+        peer = "hub"
+        baseline = state[peer]  # DT302: subscript by a non-key name
+        emit(key, value - baseline)
+        return state

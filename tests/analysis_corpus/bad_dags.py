@@ -1,0 +1,74 @@
+"""DT5xx corpus: builder functions returning deliberately bad DAGs.
+
+Used by ``tests/test_analysis_dag.py``; each builder documents the
+finding it must produce.
+"""
+
+from repro.dag.graph import TransductionDAG
+from repro.operators.keyed_ordered import OpKeyedOrdered
+from repro.operators.split import RoundRobinSplit
+from repro.operators.stateless import OpStateless
+from repro.traces.trace_type import ordered_type, unordered_type
+
+U = unordered_type()
+O = ordered_type()  # noqa: E741 - paper notation
+
+EXPECT_STATIC = ()  # the operator classes below are clean; the DAGs are not
+
+
+class _Passthrough(OpStateless):
+    name = "passthrough"
+
+    def on_item(self, key, value, emit):
+        emit(key, value)
+
+
+class _RunningLast(OpKeyedOrdered):
+    name = "running-last"
+
+    def init(self):
+        return None
+
+    def on_item(self, state, key, value, emit):
+        emit(key, value)
+        return value
+
+
+def build_rr_before_ordered():
+    """The Section 2 bug: RR split feeding an order-sensitive operator.
+
+    Expected: DT501 (and the typechecker would reject it outright).
+    """
+    dag = TransductionDAG("rr-before-ordered")
+    src = dag.add_source("src", output_type=U)
+    split = dag.add_split(RoundRobinSplit(2), upstream=src)
+    ordered = dag.add_op(_RunningLast(), upstream=[split], edge_types=[O])
+    dag.add_sink("sink", upstream=ordered)
+    return dag
+
+
+def build_fanout_parallel():
+    """A parallelism hint on a vertex with two consumers.
+
+    Expected: DT503 (Theorem 4.3 needs exactly one consumer).
+    """
+    dag = TransductionDAG("fanout-parallel")
+    src = dag.add_source("src", output_type=U)
+    mapper = dag.add_op(_Passthrough(), parallelism=3, upstream=[src])
+    left = dag.add_op(_Passthrough(), upstream=[mapper], name="left")
+    right = dag.add_op(_Passthrough(), upstream=[mapper], name="right")
+    dag.add_sink("sink-l", upstream=left)
+    dag.add_sink("sink-r", upstream=right)
+    return dag
+
+
+def build_defaulted_edge():
+    """An edge whose kind nothing constrains.
+
+    Expected: DT502 (the checker silently defaulted it to U).
+    """
+    dag = TransductionDAG("defaulted-edge")
+    src = dag.add_source("src")
+    mapper = dag.add_op(_Passthrough(), upstream=[src])
+    dag.add_sink("sink", upstream=mapper)
+    return dag

@@ -1,0 +1,35 @@
+"""DT204 + DT901: dict.update as a combine.
+
+``update`` keeps the *later* binding for a duplicate key, so
+``combine(x, y) != combine(y, x)`` whenever both sides bound the same
+key — the law check finds the counterexample.
+"""
+
+from repro.operators.keyed_unordered import OpKeyedUnordered
+
+EXPECT_STATIC = ("DT204", "DT901")  # DT901: lint cross-confirms DT2xx files
+EXPECT_DYNAMIC = ("DT901",)
+
+
+class LastWriteWins(OpKeyedUnordered):
+    name = "last-write-wins"
+
+    def fold_in(self, key, value):
+        return {key: value}
+
+    def identity(self):
+        return {}
+
+    def combine(self, x, y):
+        merged = dict(x)
+        merged.update(y)  # DT204: right side wins on duplicate keys
+        return merged
+
+    def init(self):
+        return 0
+
+    def update_state(self, old_state, agg):
+        return old_state + len(agg)
+
+    def on_marker(self, new_state, key, m, emit):
+        emit(key, new_state)

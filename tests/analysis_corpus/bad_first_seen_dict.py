@@ -1,0 +1,37 @@
+"""DT203 + DT204 + DT902: first-seen tracking via dict insertion order.
+
+The aggregate is a dict whose insertion order is arrival order; the
+merge lets the right side win (DT204) and ``update_state`` freezes the
+iteration order into the state (DT203).  Both are witnessed dynamically
+as a Definition 3.5 inconsistency (DT902).
+"""
+
+from repro.operators.keyed_unordered import OpKeyedUnordered
+
+EXPECT_STATIC = ("DT203", "DT204")
+# The dict merge is commutative under == (dict equality ignores order),
+# so the monoid laws pass; the order leak shows up as a Definition 3.5
+# inconsistency instead.
+EXPECT_DYNAMIC = ("DT902",)
+
+
+class FirstSeenOrder(OpKeyedUnordered):
+    name = "first-seen-order"
+
+    def fold_in(self, key, value):
+        return {value: True}
+
+    def identity(self):
+        return {}
+
+    def combine(self, x, y):
+        return {**x, **y}  # DT204: duplicate keys resolved by merge order
+
+    def init(self):
+        return ()
+
+    def update_state(self, old_state, agg):
+        return old_state + tuple(agg)  # DT203: dict order = arrival order
+
+    def on_marker(self, new_state, key, m, emit):
+        emit(key, new_state)

@@ -1,0 +1,39 @@
+"""DT901 (dynamic only): non-commutativity hidden behind a helper.
+
+The combine body is a single innocent-looking call, so the static
+heuristics (which only look at the callback body) see nothing.  The
+sampled law check still catches it — this file is why ``--dynamic``
+exists alongside the AST rules.
+"""
+
+from repro.operators.keyed_unordered import OpKeyedUnordered
+
+EXPECT_STATIC = ()
+EXPECT_DYNAMIC = ("DT901", "DT902")  # the law break is output-visible too
+
+
+def _blend(a, b):
+    # Weighted toward the left operand: _blend(a, b) != _blend(b, a).
+    return 2 * a + b
+
+
+class HiddenBlend(OpKeyedUnordered):
+    name = "hidden-blend"
+
+    def fold_in(self, key, value):
+        return value
+
+    def identity(self):
+        return 0
+
+    def combine(self, x, y):
+        return _blend(x, y)  # looks pure and symmetric; is neither
+
+    def init(self):
+        return 0
+
+    def update_state(self, old_state, agg):
+        return old_state + agg
+
+    def on_marker(self, new_state, key, m, emit):
+        emit(key, new_state)

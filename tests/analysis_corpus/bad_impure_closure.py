@@ -1,0 +1,20 @@
+"""DT104: a pure callback mutating shared module-level state."""
+
+from repro.operators.stateless import OpStateless
+
+EXPECT_STATIC = ("DT104",)
+EXPECT_DYNAMIC = ("DT902",)
+
+_CACHE = {}
+
+
+class DedupByCache(OpStateless):
+    """Emits only first-seen values — but "first" is per-process."""
+
+    name = "dedup-by-cache"
+
+    def on_item(self, key, value, emit):
+        if value in _CACHE:
+            return
+        _CACHE[value] = True  # DT104: writes shared mutable module state
+        emit(key, value)

@@ -1,0 +1,22 @@
+"""DT101: an OpStateless that keeps hidden instance state.
+
+The emitted value depends on how many items this *instance* has seen,
+so two deployments (or a replay after recovery) emit different output
+for the same trace — exactly the purity side condition of Theorem 4.2.
+"""
+
+from repro.operators.stateless import OpStateless
+
+EXPECT_STATIC = ("DT101",)
+EXPECT_DYNAMIC = ("DT902",)  # the counter also breaks Definition 3.5
+
+
+class CountingTagger(OpStateless):
+    name = "counting-tagger"
+
+    def __init__(self):
+        self.seen = 0
+
+    def on_item(self, key, value, emit):
+        self.seen += 1  # DT101: writes self.* from a pure callback
+        emit(key, (self.seen, value))

@@ -1,0 +1,17 @@
+"""DT102: a callback that declares ``global`` and rebinds it."""
+
+from repro.operators.stateless import OpStateless
+
+EXPECT_STATIC = ("DT102",)
+EXPECT_DYNAMIC = ("DT902",)
+
+TOTAL = 0
+
+
+class GlobalTotal(OpStateless):
+    name = "global-total"
+
+    def on_item(self, key, value, emit):
+        global TOTAL  # DT102: global state in a pure callback
+        TOTAL = TOTAL + value
+        emit(key, TOTAL)

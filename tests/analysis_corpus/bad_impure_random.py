@@ -1,0 +1,15 @@
+"""DT103: nondeterministic call inside a pure callback."""
+
+import random
+
+from repro.operators.stateless import OpStateless
+
+EXPECT_STATIC = ("DT103",)
+EXPECT_DYNAMIC = ("DT902",)
+
+
+class JitteredMap(OpStateless):
+    name = "jittered-map"
+
+    def on_item(self, key, value, emit):
+        emit(key, value + random.random())  # DT103: output depends on RNG

@@ -1,0 +1,23 @@
+"""DT303: an O->O operator emitting under a different key.
+
+Table 1 restricts ``OpKeyedOrdered`` emissions to the input key —
+otherwise the output cannot be viewed as per-key ordered.  The runtime
+enforces this with a guard that raises at the first violation; the
+linter reports it before anything runs.
+"""
+
+from repro.operators.keyed_ordered import OpKeyedOrdered
+
+EXPECT_STATIC = ("DT303",)
+EXPECT_DYNAMIC = ()  # O-input: block-shuffle consistency does not apply
+
+
+class GlobalRelabel(OpKeyedOrdered):
+    name = "global-relabel"
+
+    def init(self):
+        return None
+
+    def on_item(self, state, key, value, emit):
+        emit("all", value)  # DT303: rewrites the key on an O output
+        return state

@@ -1,0 +1,32 @@
+"""DT201 + DT901: string concatenation as a combine.
+
+Concatenation is associative but not commutative: "ab" != "ba", so the
+block aggregate leaks arrival order into the state.
+"""
+
+from repro.operators.keyed_unordered import OpKeyedUnordered
+
+EXPECT_STATIC = ("DT201", "DT901")
+EXPECT_DYNAMIC = ("DT901", "DT902")
+
+
+class ConcatLog(OpKeyedUnordered):
+    name = "concat-log"
+
+    def fold_in(self, key, value):
+        return str(value)
+
+    def identity(self):
+        return ""
+
+    def combine(self, x, y):
+        return "".join([x, y])  # DT201: concatenation is order-sensitive
+
+    def init(self):
+        return ""
+
+    def update_state(self, old_state, agg):
+        return old_state + agg
+
+    def on_marker(self, new_state, key, m, emit):
+        emit(key, new_state)

@@ -1,0 +1,34 @@
+"""DT201 + DT901: a keyed-unordered fold whose combine subtracts.
+
+Subtraction is neither associative nor commutative, so the per-block
+aggregate depends on arrival order — the exact side condition Table 1
+requires of the monoid.  The static heuristic flags it (DT201) and the
+monoid-law spot-check produces a concrete counterexample (DT901).
+"""
+
+from repro.operators.keyed_unordered import OpKeyedUnordered
+
+EXPECT_STATIC = ("DT201", "DT901")  # DT901: lint cross-confirms DT201 files
+EXPECT_DYNAMIC = ("DT901",)
+
+
+class RunningDifference(OpKeyedUnordered):
+    name = "running-difference"
+
+    def fold_in(self, key, value):
+        return value
+
+    def identity(self):
+        return 0
+
+    def combine(self, x, y):
+        return x - y  # DT201: non-commutative operator across x and y
+
+    def init(self):
+        return 0
+
+    def update_state(self, old_state, agg):
+        return old_state + agg
+
+    def on_marker(self, new_state, key, m, emit):
+        emit(key, new_state)

@@ -1,0 +1,37 @@
+"""DT202 + DT901: an order-sensitive reduce over a list aggregate.
+
+The combine concatenates lists (so the aggregate records arrival
+order — list concatenation is not commutative, which the dynamic law
+check witnesses) and ``update_state`` folds it left-to-right with
+``reduce``, baking that order into the state.
+"""
+
+import functools
+
+from repro.operators.keyed_unordered import OpKeyedUnordered
+
+EXPECT_STATIC = ("DT202", "DT901")  # DT901: lint cross-confirms DT2xx files
+EXPECT_DYNAMIC = ("DT901",)
+
+
+class LeftFoldDeltas(OpKeyedUnordered):
+    name = "left-fold-deltas"
+
+    def fold_in(self, key, value):
+        return [value]
+
+    def identity(self):
+        return []
+
+    def combine(self, x, y):
+        return x + y
+
+    def init(self):
+        return 0
+
+    def update_state(self, old_state, agg):
+        # DT202: reduce over the aggregate is evaluation-order-sensitive
+        return functools.reduce(lambda a, b: a - b, agg, old_state)
+
+    def on_marker(self, new_state, key, m, emit):
+        emit(key, new_state)

@@ -1,0 +1,26 @@
+"""DT902 (dynamic only): order dependence laundered through a helper.
+
+The callback body writes no state the AST rules can see — the mutation
+happens inside a module-level helper.  The block-shuffle consistency
+check still observes that equivalent inputs produce different outputs.
+"""
+
+from repro.operators.stateless import OpStateless
+
+EXPECT_STATIC = ()
+EXPECT_DYNAMIC = ("DT902",)
+
+_LAST = []
+
+
+def _delta(value):
+    prev = _LAST[-1] if _LAST else 0
+    _LAST.append(value)
+    return value - prev
+
+
+class StreamDelta(OpStateless):
+    name = "stream-delta"
+
+    def on_item(self, key, value, emit):
+        emit(key, _delta(value))  # output depends on global arrival order

@@ -1,0 +1,26 @@
+"""DT402: a shallow copy of nested mutable state.
+
+``list(state)`` copies the spine but shares the inner per-sensor
+lists; ``on_item`` mutates those in place, so the checkpoint drifts
+with the live state anyway.
+"""
+
+from repro.operators.keyed_ordered import OpKeyedOrdered
+
+EXPECT_STATIC = ("DT402",)
+EXPECT_DYNAMIC = ()  # O-input: block-shuffle consistency does not apply
+
+
+class NestedBuffers(OpKeyedOrdered):
+    name = "nested-buffers"
+
+    def init(self):
+        return [[], []]  # [readings, alarms]
+
+    def copy_state(self, state):
+        return list(state)  # DT402: inner lists are shared, not copied
+
+    def on_item(self, state, key, value, emit):
+        state[0].append(value)
+        emit(key, value)
+        return state

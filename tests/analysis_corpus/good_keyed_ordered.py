@@ -1,0 +1,21 @@
+"""A clean OpKeyedOrdered: key-preserving delta with a proper copy."""
+
+from repro.operators.keyed_ordered import OpKeyedOrdered
+
+EXPECT_STATIC = ()
+EXPECT_DYNAMIC = ()
+
+
+class PerKeyDelta(OpKeyedOrdered):
+    name = "per-key-delta"
+
+    def init(self):
+        return None
+
+    def copy_state(self, state):
+        return state  # repro: ignore[DT401] -- state is an immutable scalar
+
+    def on_item(self, state, key, value, emit):
+        if state is not None:
+            emit(key, value - state)
+        return value

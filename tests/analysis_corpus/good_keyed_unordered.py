@@ -1,0 +1,36 @@
+"""A clean OpKeyedUnordered: sum monoid, sorted state iteration.
+
+Shows the sanctioned patterns the rules must NOT flag: a commutative
+numeric combine, and a ``sorted(...)`` wrapper laundering a dict's
+iteration order before it reaches output.
+"""
+
+from repro.operators.keyed_unordered import OpKeyedUnordered
+
+EXPECT_STATIC = ()
+EXPECT_DYNAMIC = ()
+
+
+class PerKeyTotal(OpKeyedUnordered):
+    name = "per-key-total"
+
+    def fold_in(self, key, value):
+        return value
+
+    def identity(self):
+        return 0
+
+    def combine(self, x, y):
+        return x + y
+
+    def init(self):
+        return {}
+
+    def update_state(self, old_state, agg):
+        new_state = dict(old_state)
+        new_state["total"] = new_state.get("total", 0) + agg
+        return new_state
+
+    def on_marker(self, new_state, key, m, emit):
+        # sorted() makes the dict's iteration order irrelevant.
+        emit(key, tuple(sorted(new_state.items())))

@@ -1,0 +1,25 @@
+"""A clean OpSlidingWindow: max over the last two blocks."""
+
+from repro.operators.sliding import OpSlidingWindow
+
+EXPECT_STATIC = ()
+EXPECT_DYNAMIC = ()
+
+_NEG_INF = float("-inf")
+
+
+class MaxOverTwoBlocks(OpSlidingWindow):
+    name = "max-over-two"
+    window = 2
+
+    def fold_in(self, key, value):
+        return value
+
+    def identity(self):
+        return _NEG_INF
+
+    def combine(self, x, y):
+        return max(x, y)
+
+    def finish(self, key, agg, timestamp):
+        return agg if agg != _NEG_INF else None

@@ -1,0 +1,13 @@
+"""A clean OpStateless: pure per-item map, no findings expected."""
+
+from repro.operators.stateless import OpStateless
+
+EXPECT_STATIC = ()
+EXPECT_DYNAMIC = ()
+
+
+class CelsiusToKelvin(OpStateless):
+    name = "c-to-k"
+
+    def on_item(self, key, value, emit):
+        emit(key, value + 273.15)

@@ -1,0 +1,39 @@
+"""A justified suppression that is actually used: no findings expected.
+
+The operator emits per-block membership as a frozenset — iterating the
+set *would* draw DT203/DT402-style suspicion where the rules are
+conservative, so the one conservative hit here carries a justification
+comment.  The suppression must count as used (no DT001).
+"""
+
+from repro.operators.keyed_unordered import OpKeyedUnordered
+
+EXPECT_STATIC = ()
+EXPECT_DYNAMIC = ()
+
+
+class DistinctValues(OpKeyedUnordered):
+    name = "distinct-values"
+
+    def fold_in(self, key, value):
+        return frozenset([value])
+
+    def identity(self):
+        return frozenset()
+
+    def combine(self, x, y):
+        return x | y
+
+    def init(self):
+        return frozenset()
+
+    def update_state(self, old_state, agg):
+        merged = list(old_state)
+        for v in agg:  # iterating the set aggregate taints `merged`
+            if v not in merged:
+                merged.append(v)
+        # repro: ignore[DT203] -- on_marker only emits len(new_state)
+        return tuple(merged)
+
+    def on_marker(self, new_state, key, m, emit):
+        emit(key, len(new_state))

@@ -1,0 +1,195 @@
+"""The analysis corpus: pinned rule codes, CLI exit codes, and the
+static/dynamic cross-check property.
+
+Every corpus module declares ``EXPECT_STATIC``/``EXPECT_DYNAMIC`` (see
+``tests/analysis_corpus/README.md``); these tests hold the analyzer to
+those pins and verify the paper-level property that every operator the
+static DT2xx rules or the dynamic DT9xx witnesses flag really is
+rejected by ``validate_operator``.
+"""
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.cli import main as cli_main
+from repro.errors import ConsistencyError
+from repro.operators.base import Operator
+from repro.operators.validate import validate_operator
+
+CORPUS = Path(__file__).parent / "analysis_corpus"
+REPO_ROOT = Path(__file__).parents[1]
+
+BAD_FILES = sorted(CORPUS.glob("bad_*.py"))
+GOOD_FILES = sorted(CORPUS.glob("good_*.py"))
+ALL_FILES = BAD_FILES + GOOD_FILES
+
+
+def _expectations(path: Path):
+    """Read EXPECT_STATIC / EXPECT_DYNAMIC without importing the module."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    out = {"EXPECT_STATIC": (), "EXPECT_DYNAMIC": ()}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and target.id in out:
+                out[target.id] = ast.literal_eval(node.value)
+    return out["EXPECT_STATIC"], out["EXPECT_DYNAMIC"]
+
+
+def _import_corpus(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"corpus_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _ids(paths):
+    return [p.stem for p in paths]
+
+
+class TestStaticPins:
+    @pytest.mark.parametrize("path", ALL_FILES, ids=_ids(ALL_FILES))
+    def test_codes_match_pin(self, path):
+        expected, _ = _expectations(path)
+        report = analyze_paths([path])
+        got = {f.code for f in report.findings}
+        assert got == set(expected), report.render("text")
+
+    def test_every_rule_family_has_a_corpus_case(self):
+        families = set()
+        for path in BAD_FILES:
+            static, dynamic = _expectations(path)
+            families |= {c[:3] for c in static} | {c[:3] for c in dynamic}
+        # DT5xx cases are DAG builders (see test_analysis_dag.py).
+        assert {"DT1", "DT2", "DT3", "DT4", "DT9"} <= families
+
+    def test_every_rule_family_has_a_passing_case(self):
+        # The good files cover every template family with zero findings;
+        # per-rule passing snippets live in test_analysis_rules.py.
+        report = analyze_paths(GOOD_FILES)
+        assert report.findings == [], report.render("text")
+
+
+class TestDynamicPins:
+    @pytest.mark.parametrize("path", BAD_FILES, ids=_ids(BAD_FILES))
+    def test_dynamic_codes_match_pin(self, path):
+        _, expected = _expectations(path)
+        report = analyze_paths([path], dynamic=True)
+        dt9 = {f.code for f in report.findings if f.code.startswith("DT9")}
+        assert set(expected) <= dt9, report.render("text")
+        if not expected:
+            assert not dt9, report.render("text")
+
+    def test_good_files_clean_under_dynamic(self):
+        report = analyze_paths(GOOD_FILES, dynamic=True)
+        assert report.findings == [], report.render("text")
+
+
+class TestCrossCheckProperty:
+    """Every DT2xx/DT9xx-flagged corpus operator fails validate_operator.
+
+    This is the linter's soundness anchor: the static commutativity and
+    order heuristics (and the dynamic witnesses they merge with) only
+    flag operators whose misbehavior is demonstrable on sampled runs.
+    """
+
+    def _flagged_classes(self):
+        for path in BAD_FILES:
+            report = analyze_paths([path], dynamic=True)
+            flagged = {
+                f.symbol.split(".")[0]
+                for f in report.findings
+                if f.symbol
+                and (f.code.startswith("DT2") or f.code.startswith("DT9"))
+            }
+            if flagged:
+                yield path, flagged
+
+    def test_flagged_operators_fail_dynamic_validation(self):
+        checked = 0
+        for path, flagged in self._flagged_classes():
+            module = _import_corpus(path)
+            for cls_name in flagged:
+                cls = getattr(module, cls_name)
+                if not (isinstance(cls, type) and issubclass(cls, Operator)):
+                    continue
+                with pytest.raises(ConsistencyError):
+                    validate_operator(cls())
+                checked += 1
+        assert checked >= 5  # the corpus must keep real coverage
+
+
+class TestCli:
+    @pytest.mark.parametrize(
+        "path", BAD_FILES, ids=_ids(BAD_FILES)
+    )
+    def test_bad_files_fail_strict(self, path, capsys):
+        static, _ = _expectations(path)
+        if not static:
+            pytest.skip("dynamic-only or DAG-builder corpus file")
+        code = cli_main(["lint", "--strict", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        for expected in static:
+            assert expected in out
+
+    @pytest.mark.parametrize("path", GOOD_FILES, ids=_ids(GOOD_FILES))
+    def test_good_files_pass_strict(self, path):
+        assert cli_main(["lint", "--strict", str(path)]) == 0
+
+    def test_repo_self_lint_is_clean(self):
+        code = cli_main(
+            [
+                "lint", "--strict",
+                str(REPO_ROOT / "src"), str(REPO_ROOT / "examples"),
+            ]
+        )
+        assert code == 0
+
+    def test_warning_only_file_passes_without_strict(self, tmp_path):
+        target = tmp_path / "warn_only.py"
+        target.write_text(
+            CORPUS.joinpath("bad_first_seen_dict.py").read_text(
+                encoding="utf-8"
+            ),
+            encoding="utf-8",
+        )
+        # DT203/DT204 are warnings: gate only under --strict.
+        assert cli_main(["lint", str(target)]) == 0
+        assert cli_main(["lint", "--strict", str(target)]) == 1
+
+    def test_missing_path_is_a_usage_error(self):
+        assert cli_main(["lint", "no/such/dir"]) == 2
+
+    def test_json_format_lists_codes(self, capsys):
+        cli_main(["lint", "--format", "json", str(BAD_FILES[0])])
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, dict) and payload["findings"]
+
+    def test_github_format_emits_workflow_commands(self, capsys):
+        path = CORPUS / "bad_noncommutative_sub.py"
+        cli_main(["lint", "--format", "github", str(path)])
+        out = capsys.readouterr().out
+        assert "::error" in out and "DT201" in out
+
+    def test_select_and_ignore(self, capsys):
+        path = str(CORPUS / "bad_first_seen_dict.py")
+        cli_main(["lint", "--select", "DT204", path])
+        out = capsys.readouterr().out
+        assert "DT204" in out and "DT203" not in out
+        cli_main(["lint", "--ignore", "DT2", path])
+        out = capsys.readouterr().out
+        assert "DT204" not in out and "DT203" not in out
+
+    def test_explain_known_and_unknown(self, capsys):
+        assert cli_main(["lint", "--explain", "DT203"]) == 0
+        assert "DT203" in capsys.readouterr().out
+        assert cli_main(["lint", "--explain", "DT999"]) == 2

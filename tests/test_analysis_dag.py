@@ -1,0 +1,119 @@
+"""DT5xx DAG rules, typecheck diagnostics, and planner gating."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_dag
+from repro.dag.graph import TransductionDAG
+from repro.dag.planner import Plan
+from repro.dag.typecheck import (
+    EdgeKindDiagnostic,
+    typecheck_dag,
+    typecheck_diagnostics,
+)
+from repro.errors import DagError, TraceTypeError
+from repro.operators.stateless import OpStateless
+from repro.traces.trace_type import ordered_type, unordered_type
+
+U = unordered_type()
+O = ordered_type()  # noqa: E741 - paper notation
+
+_BAD_DAGS = Path(__file__).parent / "analysis_corpus" / "bad_dags.py"
+_spec = importlib.util.spec_from_file_location("corpus_bad_dags", _BAD_DAGS)
+bad_dags = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bad_dags)
+
+
+class _Echo(OpStateless):
+    name = "echo"
+
+    def on_item(self, key, value, emit):
+        emit(key, value)
+
+
+def _clean_dag():
+    dag = TransductionDAG("clean")
+    src = dag.add_source("src", output_type=U)
+    mapper = dag.add_op(_Echo(), upstream=[src], edge_types=[U])
+    dag.add_sink("sink", upstream=mapper, input_type=U)
+    return dag
+
+
+class TestAnalyzeDag:
+    def test_rr_before_ordered_is_dt501(self):
+        codes = [f.code for f in analyze_dag(bad_dags.build_rr_before_ordered())]
+        assert "DT501" in codes
+        # DT501 subsumes the typechecker's rejection of the same path.
+        assert "DT500" not in codes
+
+    def test_fanout_parallel_is_dt503(self):
+        findings = analyze_dag(bad_dags.build_fanout_parallel())
+        assert [f.code for f in findings].count("DT503") == 1
+        assert "2 consumers" in findings[0].message
+
+    def test_defaulted_edge_is_dt502(self):
+        codes = [f.code for f in analyze_dag(bad_dags.build_defaulted_edge())]
+        assert "DT502" in codes
+        assert all(c.startswith("DT50") for c in codes)
+
+    def test_clean_dag_has_no_findings(self):
+        assert analyze_dag(_clean_dag()) == []
+
+
+class TestTypecheckDiagnostics:
+    def test_diagnostics_describe_defaulted_edges(self):
+        kinds, diagnostics = typecheck_diagnostics(
+            bad_dags.build_defaulted_edge()
+        )
+        assert diagnostics, "untyped pipeline must report defaulted edges"
+        assert all(isinstance(d, EdgeKindDiagnostic) for d in diagnostics)
+        for diag in diagnostics:
+            assert kinds[diag.edge_id] == "U"
+            assert diag.src and diag.dst and diag.reason
+            assert diag.src in diag.describe()
+
+    def test_typed_pipeline_has_no_diagnostics(self):
+        _, diagnostics = typecheck_diagnostics(_clean_dag())
+        assert diagnostics == []
+
+    def test_strict_rejects_defaulted_edges(self):
+        dag = bad_dags.build_defaulted_edge()
+        typecheck_dag(dag)  # default: soft U fallback, no raise
+        with pytest.raises(TraceTypeError):
+            typecheck_dag(dag, strict=True)
+
+    def test_strict_accepts_typed_pipeline(self):
+        typecheck_dag(_clean_dag(), strict=True)
+
+
+class TestPlannerGate:
+    def _fanout_vertex(self, dag):
+        return next(
+            v.vertex_id
+            for v in dag.vertices.values()
+            if len(dag.out_edges(v)) == 2
+        )
+
+    def test_plan_apply_rejects_multi_consumer_hint(self):
+        dag = bad_dags.build_fanout_parallel()
+        vid = self._fanout_vertex(dag)
+        dag.vertices[vid].parallelism = 1  # hint comes from the plan
+        with pytest.raises(DagError, match="Theorem 4.3"):
+            Plan({vid: 3}).apply(dag)
+
+    def test_plan_apply_unchecked_installs_hint(self):
+        dag = bad_dags.build_fanout_parallel()
+        vid = self._fanout_vertex(dag)
+        dag.vertices[vid].parallelism = 1
+        result = Plan({vid: 3}).apply(dag, check=False)
+        assert result.vertices[vid].parallelism == 3
+
+    def test_plan_apply_accepts_single_consumer(self):
+        dag = _clean_dag()
+        vid = next(
+            v.vertex_id for v in dag.vertices.values() if v.name == "echo"
+        )
+        result = Plan({vid: 4}).apply(dag)
+        assert result.vertices[vid].parallelism == 4

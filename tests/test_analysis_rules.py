@@ -1,0 +1,513 @@
+"""Unit tests for the static rules on inline sources: each rule's
+minimal trigger, its sanctioned (passing) counterpart, suppressions,
+output formats, and the rule registry."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import RULES, all_codes, analyze_source, explain, get_rule
+from repro.analysis.findings import Report, filter_findings
+
+DOCS = "docs/static_analysis.md"
+
+
+def lint(source, **kwargs):
+    return analyze_source(textwrap.dedent(source), **kwargs)
+
+
+def codes(source, **kwargs):
+    return [f.code for f in lint(source, **kwargs)]
+
+
+STATELESS_HEADER = """
+    from repro.operators.stateless import OpStateless
+"""
+
+KEYED_UNORDERED_HEADER = """
+    from repro.operators.keyed_unordered import OpKeyedUnordered
+"""
+
+
+class TestPurity:
+    def test_self_write_is_dt101(self):
+        assert "DT101" in codes(
+            """
+            from repro.operators.stateless import OpStateless
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    self.seen = value
+                    emit(key, value)
+            """
+        )
+
+    def test_self_mutating_method_is_dt101(self):
+        assert "DT101" in codes(
+            """
+            from repro.operators.stateless import OpStateless
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    self.buffer.append(value)
+            """
+        )
+
+    def test_global_is_dt102(self):
+        assert "DT102" in codes(
+            """
+            from repro.operators.stateless import OpStateless
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    global total
+                    total += value
+            """
+        )
+
+    def test_nondeterministic_call_is_dt103(self):
+        assert "DT103" in codes(
+            """
+            import time
+            from repro.operators.stateless import OpStateless
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    emit(key, (value, time.time()))
+            """
+        )
+
+    def test_shared_mutable_write_is_dt104(self):
+        assert "DT104" in codes(
+            """
+            from repro.operators.stateless import OpStateless
+
+            SEEN = set()
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    SEEN.add(value)
+            """
+        )
+
+    def test_argument_mutation_is_dt105(self):
+        assert "DT105" in codes(
+            """
+            from repro.operators.stateless import OpStateless
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    value.append(1)
+                    emit(key, value)
+            """
+        )
+
+    def test_pure_map_passes(self):
+        assert codes(
+            """
+            from repro.operators.stateless import OpStateless
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    local = value * 2
+                    emit(key, local)
+            """
+        ) == []
+
+    def test_reads_of_self_config_pass(self):
+        # Reading self.* is fine; only writes/mutations are impure.
+        assert codes(
+            """
+            from repro.operators.stateless import OpStateless
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    emit(key, value * self.factor)
+            """
+        ) == []
+
+
+class TestOrder:
+    KU = """
+        from repro.operators.keyed_unordered import OpKeyedUnordered
+
+        class Op(OpKeyedUnordered):
+            def fold_in(self, key, value):
+                return {body}
+    """
+
+    def test_subtraction_combine_is_dt201(self):
+        src = """
+            from repro.operators.keyed_unordered import OpKeyedUnordered
+
+            class Op(OpKeyedUnordered):
+                def combine(self, x, y):
+                    return x - y
+        """
+        assert "DT201" in codes(src)
+
+    def test_sum_combine_passes(self):
+        src = """
+            from repro.operators.keyed_unordered import OpKeyedUnordered
+
+            class Op(OpKeyedUnordered):
+                def combine(self, x, y):
+                    return x + y
+        """
+        assert codes(src) == []
+
+    def test_sorted_concat_passes(self):
+        src = """
+            from repro.operators.keyed_unordered import OpKeyedUnordered
+
+            class Op(OpKeyedUnordered):
+                def combine(self, x, y):
+                    return sorted(x + y)
+        """
+        assert codes(src) == []
+
+    def test_reduce_in_update_state_is_dt202(self):
+        src = """
+            import functools
+            from repro.operators.keyed_unordered import OpKeyedUnordered
+
+            class Op(OpKeyedUnordered):
+                def update_state(self, old, agg):
+                    return functools.reduce(lambda a, b: a - b, agg, old)
+        """
+        assert "DT202" in codes(src)
+
+    def test_set_iteration_to_emit_is_dt203(self):
+        src = """
+            from repro.operators.stateless import OpStateless
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    tags = {"a", "b", value}
+                    out = []
+                    for tag in tags:
+                        out.append(tag)
+                    emit(key, out)
+        """
+        assert "DT203" in codes(src)
+
+    def test_len_of_set_passes(self):
+        src = """
+            from repro.operators.stateless import OpStateless
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    tags = {"a", "b", value}
+                    emit(key, len(tags))
+        """
+        assert codes(src) == []
+
+    def test_sorted_iteration_passes(self):
+        src = """
+            from repro.operators.stateless import OpStateless
+
+            class Op(OpStateless):
+                def on_item(self, key, value, emit):
+                    tags = {"a", "b", value}
+                    out = []
+                    for tag in sorted(tags):
+                        out.append(tag)
+                    emit(key, out)
+        """
+        assert codes(src) == []
+
+    def test_dict_aggregate_tuple_freeze_is_dt203(self):
+        src = """
+            from repro.operators.keyed_unordered import OpKeyedUnordered
+
+            class Op(OpKeyedUnordered):
+                def identity(self):
+                    return {}
+
+                def update_state(self, old, agg):
+                    return tuple(agg)
+        """
+        assert "DT203" in codes(src)
+
+    def test_dict_star_merge_is_dt204(self):
+        src = """
+            from repro.operators.keyed_unordered import OpKeyedUnordered
+
+            class Op(OpKeyedUnordered):
+                def combine(self, x, y):
+                    return {**x, **y}
+        """
+        assert "DT204" in codes(src)
+
+
+class TestKeyed:
+    def test_instance_keyed_state_is_dt301(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def on_item(self, state, key, value, emit):
+                    self._table[key] = value
+                    return state
+        """
+        assert "DT301" in codes(src)
+
+    def test_cross_key_subscript_is_dt302(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def on_item(self, state, key, value, emit):
+                    other = "hub"
+                    emit(key, state[other])
+                    return state
+        """
+        assert "DT302" in codes(src)
+
+    def test_key_alias_subscript_passes(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def on_item(self, state, key, value, emit):
+                    k = key
+                    emit(key, state[k])
+                    return state
+        """
+        assert codes(src) == []
+
+    def test_key_rewrite_is_dt303(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def on_item(self, state, key, value, emit):
+                    emit("relabelled", value)
+                    return state
+        """
+        assert "DT303" in codes(src)
+
+    def test_key_preserving_emit_passes(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def on_item(self, state, key, value, emit):
+                    emit(key, value + 1)
+                    return state
+        """
+        assert codes(src) == []
+
+
+class TestSnapshot:
+    def test_alias_return_is_dt401(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    return state
+        """
+        assert "DT401" in codes(src)
+
+    def test_shallow_list_is_dt402(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    return list(state)
+        """
+        assert "DT402" in codes(src)
+
+    def test_slice_copy_is_dt402(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    return state[:]
+        """
+        assert "DT402" in codes(src)
+
+    def test_deepcopy_passes(self):
+        src = """
+            import copy
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    return copy.deepcopy(state)
+        """
+        assert codes(src) == []
+
+    def test_none_guard_shallow_is_still_dt402(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    return state if state is None else list(state)
+        """
+        assert "DT402" in codes(src)
+
+    def test_transforming_copy_passes(self):
+        # Rebuilding a fresh structure per entry is not a shallow alias.
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    return [pair + 0 for pair in state]
+        """
+        assert codes(src) == []
+
+
+class TestSuppressions:
+    SRC = """
+        from repro.operators.keyed_ordered import OpKeyedOrdered
+
+        class Op(OpKeyedOrdered):
+            def copy_state(self, state):
+                return list(state)  # repro: ignore[DT402] -- scalar items
+    """
+
+    def test_used_suppression_silences_finding(self):
+        assert codes(self.SRC) == []
+
+    def test_suppress_flag_off_keeps_finding(self):
+        assert "DT402" in codes(self.SRC, suppress=False)
+
+    def test_standalone_comment_covers_next_line(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    # repro: ignore[DT402] -- scalar items
+                    return list(state)
+        """
+        assert codes(src) == []
+
+    def test_unused_suppression_is_dt001(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    import copy
+                    return copy.deepcopy(state)  # repro: ignore[DT402]
+        """
+        assert codes(src) == ["DT001"]
+
+    def test_wrong_code_does_not_suppress(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    return list(state)  # repro: ignore[DT401]
+        """
+        got = codes(src)
+        assert "DT402" in got and "DT001" in got
+
+    def test_multi_code_suppression(self):
+        src = """
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    return list(state)  # repro: ignore[DT401, DT402]
+        """
+        assert codes(src) == []
+
+    def test_suppression_inside_string_is_ignored(self):
+        # Regression: the scanner must only honor real COMMENT tokens.
+        src = '''
+            from repro.operators.keyed_ordered import OpKeyedOrdered
+
+            DOC = """
+            example:  # repro: ignore[DT402]
+            """
+
+            class Op(OpKeyedOrdered):
+                def copy_state(self, state):
+                    return list(state)
+        '''
+        got = codes(src)
+        assert got == ["DT402"]  # no DT001, and the finding survives
+
+    def test_syntax_error_is_dt002(self):
+        assert codes("def broken(:\n    pass\n") == ["DT002"]
+
+
+class TestReportAndRegistry:
+    def test_filter_select_ignore_prefixes(self):
+        findings = lint(self.__class__.BAD)
+        only_4xx = filter_findings(findings, select=("DT4",), ignore=())
+        assert {f.code for f in only_4xx} == {"DT402"}
+        none_4xx = filter_findings(findings, select=(), ignore=("DT4",))
+        assert all(not f.code.startswith("DT4") for f in none_4xx)
+
+    BAD = """
+        from repro.operators.keyed_ordered import OpKeyedOrdered
+
+        class Op(OpKeyedOrdered):
+            def copy_state(self, state):
+                return list(state)
+
+            def on_item(self, state, key, value, emit):
+                emit("other", value)
+                return state
+    """
+
+    def test_report_render_json(self):
+        report = Report(lint(self.BAD))
+        payload = json.loads(report.render("json"))
+        assert {f["code"] for f in payload["findings"]} == {"DT303", "DT402"}
+
+    def test_report_render_github(self):
+        report = Report(lint(self.BAD))
+        out = report.render("github")
+        assert "::error" in out and "::warning" in out
+
+    def test_exit_codes(self):
+        warn_only = Report(
+            [f for f in lint(self.BAD) if f.severity == "warning"]
+        )
+        assert warn_only.exit_code(strict=False) == 0
+        assert warn_only.exit_code(strict=True) == 1
+        with_error = Report(lint(self.BAD))
+        assert with_error.exit_code(strict=False) == 1
+
+    def test_every_rule_explains_itself(self):
+        for code in all_codes():
+            text = explain(code)
+            assert code in text
+            assert RULES[code].clause in text
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("DT999")
+
+    def test_rule_codes_are_stable(self):
+        # The documented public contract: removing or renaming a code is
+        # a breaking change and must be a deliberate one.
+        assert {
+            "DT001", "DT002", "DT101", "DT102", "DT103", "DT104", "DT105",
+            "DT201", "DT202", "DT203", "DT204", "DT301", "DT302", "DT303",
+            "DT401", "DT402", "DT500", "DT501", "DT502", "DT503",
+            "DT901", "DT902", "DT903",
+        } <= set(all_codes())
+
+
+class TestDocsInSync:
+    def test_every_code_is_documented(self):
+        from pathlib import Path
+
+        docs = (
+            Path(__file__).parents[1] / "docs" / "static_analysis.md"
+        ).read_text(encoding="utf-8")
+        for code in all_codes():
+            assert code in docs, f"{code} missing from docs/static_analysis.md"
